@@ -1,0 +1,1 @@
+"""Benchmark harness package: one pytest-benchmark target per paper artifact."""

@@ -1,0 +1,58 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper at a reduced
+("bench") scale and stores the raw result dictionary under
+``benchmarks/results/`` so EXPERIMENTS.md can be refreshed from the same
+numbers that pytest-benchmark timed.  Every experiment is executed exactly
+once per benchmark run (``rounds=1``) because a single run already trains
+multiple models.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.settings import ExperimentScale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Scale used by the benchmark suite: large enough for the paper's shape to
+#: emerge, small enough that the full suite runs on a laptop CPU.
+BENCH_SCALE = ExperimentScale(
+    name="bench",
+    benchmark_users={"twibot-20": 450, "twibot-22": 600, "mgtab": 400},
+    tweets_per_user=12,
+    max_epochs=35,
+    patience=8,
+    pretrain_epochs=60,
+    hidden_dim=32,
+    subgraph_k=8,
+    batch_size=64,
+    seeds=1,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_result(results_dir: Path, name: str, result) -> None:
+    """Persist an experiment result as JSON for EXPERIMENTS.md."""
+    path = results_dir / f"{name}.json"
+    with open(path, "w") as handle:
+        json.dump(result, handle, indent=2, default=float)
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

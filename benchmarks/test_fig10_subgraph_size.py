@@ -1,0 +1,24 @@
+"""Benchmark for Figure 10 — BSG4Bot performance across subgraph sizes k."""
+
+from repro.experiments import fig10
+
+from .conftest import run_once, save_result
+
+K_VALUES = (2, 4, 8, 16)
+
+
+def test_fig10_subgraph_size(benchmark, bench_scale, results_dir):
+    result = run_once(
+        benchmark,
+        lambda: fig10.run(k_values=K_VALUES, scale=bench_scale, benchmarks=("mgtab",)),
+    )
+    save_result(results_dir, "fig10", result)
+    print("\n" + fig10.format_result(result))
+
+    per_k = result["mgtab"]
+    assert set(per_k) == set(K_VALUES)
+    # Paper shape: very small subgraphs underperform the knee of the curve;
+    # performance rises with k before flattening/dipping.
+    best_k = max(per_k, key=lambda k: per_k[k]["f1"])
+    assert best_k >= 4
+    assert max(p["f1"] for p in per_k.values()) >= per_k[min(K_VALUES)]["f1"] - 1.0

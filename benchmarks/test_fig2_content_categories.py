@@ -1,0 +1,16 @@
+"""Benchmark for Figure 2 — tweet content category distributions."""
+
+from repro.experiments import fig2
+
+from .conftest import run_once, save_result
+
+
+def test_fig2_content_categories(benchmark, bench_scale, results_dir):
+    result = run_once(benchmark, lambda: fig2.run(scale=bench_scale))
+    save_result(results_dir, "fig2", result)
+    print("\n" + fig2.format_result(result))
+
+    # Paper shape: bots concentrate on fewer content categories than humans.
+    assert result["bot_mean_categories"] < result["human_mean_categories"]
+    assert abs(sum(result["bot_percentage"]) - 1.0) < 1e-6
+    assert abs(sum(result["human_percentage"]) - 1.0) < 1e-6

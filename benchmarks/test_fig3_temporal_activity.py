@@ -1,0 +1,19 @@
+"""Benchmark for Figure 3 — monthly tweet activity of bots vs humans."""
+
+from repro.experiments import fig3
+
+from .conftest import run_once, save_result
+
+
+def test_fig3_temporal_activity(benchmark, bench_scale, results_dir):
+    result = run_once(benchmark, lambda: fig3.run(scale=bench_scale))
+    save_result(results_dir, "fig3", result)
+    print("\n" + fig3.format_result(result))
+
+    # Paper shape: human activity is bursty (high variability), bot activity
+    # is regular (low variability).
+    assert result["bot_mean_cv"] < result["human_mean_cv"]
+    assert len(result["communities"]) == 3
+    for entry in result["communities"]:
+        assert len(entry["bot_series"]) == 18
+        assert len(entry["human_series"]) == 18

@@ -1,0 +1,27 @@
+"""Benchmark for Figure 4 — GCN vs MLP accuracy per homophily bucket."""
+
+import numpy as np
+
+from repro.experiments import fig4
+
+from .conftest import run_once, save_result
+
+
+def test_fig4_homophily_accuracy(benchmark, bench_scale, results_dir):
+    result = run_once(benchmark, lambda: fig4.run(scale=bench_scale))
+    save_result(results_dir, "fig4", result)
+    print("\n" + fig4.format_result(result))
+
+    # Paper shape on MGTAB: the graph is homophilic overall (h around 0.65)
+    # and GCN's advantage over MLP concentrates on the high-homophily nodes.
+    assert result["graph_homophily"] > 0.5
+    buckets = result["buckets"]
+    high = buckets["(0.75,1.0]"]
+    assert high["count"] > 0
+    low_buckets = [buckets["(0.0,0.25]"], buckets["(0.25,0.5]"]]
+    low_counts = sum(b["count"] for b in low_buckets)
+    # GCN should do well where homophily is high.
+    assert high["gcn"] >= 60.0
+    if low_counts >= 5:
+        low_gcn = np.nanmean([b["gcn"] for b in low_buckets if b["count"]])
+        assert high["gcn"] >= low_gcn - 10.0

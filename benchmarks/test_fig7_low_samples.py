@@ -1,0 +1,27 @@
+"""Benchmark for Figure 7 — performance with low labelled-data fractions."""
+
+from repro.experiments import fig7
+
+from .conftest import run_once, save_result
+
+DETECTORS = ("mlp", "gcn", "botrgcn", "bsg4bot")
+FRACTIONS = (0.1, 0.5, 1.0)
+
+
+def test_fig7_low_samples(benchmark, bench_scale, results_dir):
+    result = run_once(
+        benchmark,
+        lambda: fig7.run(detectors=DETECTORS, fractions=FRACTIONS, scale=bench_scale),
+    )
+    save_result(results_dir, "fig7", result)
+    print("\n" + fig7.format_result(result))
+
+    # Paper shape: BSG4Bot stays near the top across the sweep and degrades
+    # gracefully as labels are removed.
+    for name in DETECTORS:
+        assert set(result[name]) == set(float(f) for f in FRACTIONS)
+    bsg = result["bsg4bot"]
+    competitors_at_full = max(result[name][1.0]["f1"] for name in DETECTORS if name != "bsg4bot")
+    assert bsg[1.0]["f1"] >= competitors_at_full - 10.0
+    # Using 10x fewer labels costs something but not everything.
+    assert bsg[0.1]["f1"] >= 0.3 * bsg[1.0]["f1"]

@@ -1,0 +1,17 @@
+"""Benchmark for Figure 8 — homophily of biased subgraphs vs the original graph."""
+
+from repro.experiments import fig8
+
+from .conftest import run_once, save_result
+
+
+def test_fig8_subgraph_homophily(benchmark, bench_scale, results_dir):
+    result = run_once(benchmark, lambda: fig8.run(scale=bench_scale, max_nodes=250))
+    save_result(results_dir, "fig8", result)
+    print("\n" + fig8.format_result(result))
+
+    # Paper shape on TwiBot-22: average homophily rises for all users, rises
+    # (or at worst stays close) for bots, and stays high for genuine users.
+    assert result["all"]["biased_subgraph"] >= result["all"]["original"] - 0.02
+    assert result["human"]["biased_subgraph"] >= 0.8
+    assert result["bot"]["biased_subgraph"] >= result["bot"]["original"] - 0.10

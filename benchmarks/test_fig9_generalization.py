@@ -1,0 +1,25 @@
+"""Benchmark for Figure 9 — generalization to unseen communities."""
+
+from repro.experiments import fig9
+
+from .conftest import run_once, save_result
+
+DETECTORS = ("botrgcn", "rgt", "botmoe", "bsg4bot")
+
+
+def test_fig9_generalization(benchmark, bench_scale, results_dir):
+    result = run_once(
+        benchmark,
+        lambda: fig9.run(detectors=DETECTORS, scale=bench_scale, num_communities=3),
+    )
+    save_result(results_dir, "fig9", result)
+    print("\n" + fig9.format_result(result))
+
+    # Paper shape: BSG4Bot has the best (or near-best) average accuracy over
+    # the train-on-i / test-on-j matrix.
+    averages = {name: result[name]["average"] for name in DETECTORS}
+    best = max(averages.values())
+    assert averages["bsg4bot"] >= best - 6.0, averages
+    for name in DETECTORS:
+        matrix = result[name]["matrix"]
+        assert len(matrix) == 3 and len(matrix[0]) == 3

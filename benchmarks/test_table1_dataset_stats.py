@@ -1,0 +1,21 @@
+"""Benchmark for Table I — benchmark statistics."""
+
+from repro.experiments import table1
+
+from .conftest import run_once, save_result
+
+
+def test_table1_dataset_stats(benchmark, bench_scale, results_dir):
+    result = run_once(benchmark, lambda: table1.run(scale=bench_scale))
+    save_result(results_dir, "table1", result)
+    print("\n" + table1.format_result(result))
+
+    # Shape of Table I: three benchmarks, TwiBot-22 bot-minority, MGTAB with
+    # seven relations, TwiBot-20 roughly balanced.
+    assert set(result) == {"twibot-20", "twibot-22", "mgtab"}
+    assert result["mgtab"]["num_relations"] == 7
+    assert result["twibot-22"]["num_relations"] == 2
+    t22 = result["twibot-22"]
+    assert t22["num_bot"] / t22["num_users"] < 0.3
+    t20 = result["twibot-20"]
+    assert 0.35 < t20["num_bot"] / t20["num_users"] < 0.75

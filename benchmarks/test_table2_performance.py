@@ -1,0 +1,45 @@
+"""Benchmark for Table II — accuracy/F1 of all competitors on all benchmarks.
+
+The full 13-model sweep over the three benchmarks is the most expensive
+experiment in the suite; it runs once and the resulting table is saved to
+``benchmarks/results/table2.json``.
+"""
+
+import numpy as np
+
+from repro.experiments import table2
+from repro.experiments.runner import TABLE2_DETECTORS
+
+from .conftest import run_once, save_result
+
+
+def test_table2_performance(benchmark, bench_scale, results_dir):
+    result = run_once(
+        benchmark,
+        lambda: table2.run(
+            benchmarks=("twibot-20", "twibot-22", "mgtab"),
+            detectors=TABLE2_DETECTORS,
+            scale=bench_scale,
+        ),
+    )
+    save_result(results_dir, "table2", result)
+    print("\n" + table2.format_result(result))
+
+    # Paper shape: BSG4Bot is the strongest model overall.  At bench scale
+    # (single seed, test splits of ~100 nodes) individual scores carry several
+    # points of noise, so we require BSG4Bot to be within a margin of the best
+    # competitor on every benchmark and among the top models on average.
+    for benchmark_name in ("twibot-20", "twibot-22", "mgtab"):
+        scores = {name: result[name][benchmark_name]["f1_mean"] for name in result}
+        best_competitor = max(v for k, v in scores.items() if k != "bsg4bot")
+        assert scores["bsg4bot"] >= best_competitor - 12.0, (benchmark_name, scores)
+
+    average = {
+        name: np.mean([result[name][b]["f1_mean"] for b in ("twibot-20", "twibot-22", "mgtab")])
+        for name in result
+    }
+    ranked = sorted(average, key=average.get, reverse=True)
+    best_average = average[ranked[0]]
+    # Among the leaders on average: top-3 rank or within a few F1 points of
+    # the best average (single-seed noise at bench scale is a few points).
+    assert "bsg4bot" in ranked[:3] or average["bsg4bot"] >= best_average - 5.0, average

@@ -1,0 +1,22 @@
+"""Benchmark for Table III — training time and epochs on TwiBot-22."""
+
+from repro.experiments import table3
+
+from .conftest import run_once, save_result
+
+
+def test_table3_runtime(benchmark, bench_scale, results_dir):
+    result = run_once(benchmark, lambda: table3.run(scale=bench_scale))
+    save_result(results_dir, "table3", result)
+    print("\n" + table3.format_result(result))
+
+    # Paper shape: BSG4Bot converges in fewer epochs than the slow full-graph
+    # methods (RGT / BotMoE run to far more epochs), so its total time is a
+    # fraction of theirs relative to per-epoch cost; SlimG is allowed to be
+    # the only faster method.
+    assert set(result) >= {"gcn", "rgt", "botmoe", "slimg", "bsg4bot"}
+    bsg_epochs = result["bsg4bot"]["epochs"]
+    assert bsg_epochs <= max(result["rgt"]["epochs"], result["botmoe"]["epochs"]) + 5
+    for name, metrics in result.items():
+        assert metrics["epochs"] >= 1
+        assert metrics["total_time"] > 0

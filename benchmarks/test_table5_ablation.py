@@ -1,0 +1,26 @@
+"""Benchmark for Table V — ablation study of BSG4Bot components."""
+
+from repro.experiments import table5
+
+from .conftest import run_once, save_result
+
+
+def test_table5_ablation(benchmark, bench_scale, results_dir):
+    result = run_once(
+        benchmark,
+        lambda: table5.run(benchmarks=("mgtab",), scale=bench_scale),
+    )
+    save_result(results_dir, "table5", result)
+    print("\n" + table5.format_result(result))
+
+    per_ablation = result["mgtab"]
+    assert "full" in per_ablation
+    full_f1 = per_ablation["full"]["f1"]
+    # Paper shape: no ablated variant beats the full model by a clear margin.
+    for name, metrics in per_ablation.items():
+        if name == "full":
+            continue
+        assert metrics["f1"] <= full_f1 + 8.0, (name, metrics["f1"], full_f1)
+    # The ablations the paper calls out as most damaging are present.
+    assert "ppr_subgraphs" in per_ablation
+    assert "mean_pooling" in per_ablation

@@ -1,0 +1,72 @@
+"""Biased subgraphs as a plug-and-play component (the Table IV study).
+
+Run with::
+
+    python examples/plugin_subgraphs.py
+
+For each backbone GNN (GCN, GAT, BotRGCN) the script trains the plain
+full-graph model and the same backbone over biased subgraphs, and reports the
+improvement the subgraph construction alone provides.  It also shows how much
+the construction raises the homophily of bot neighbourhoods, which is the
+mechanism behind the gain (the paper's Figure 8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import BiasedSubgraphPluginDetector, get_detector
+from repro.core import BSG4BotConfig
+from repro.core.preclassifier import PretrainedClassifier
+from repro.datasets import load_benchmark
+from repro.graph.homophily import node_homophily_ratios
+from repro.sampling import BiasedSubgraphBuilder
+
+
+def homophily_report(graph) -> None:
+    """Compare bot homophily in the original graph vs biased subgraphs."""
+    counts = graph.class_counts()
+    total = sum(counts.values())
+    class_weight = np.array(
+        [total / max(2 * counts.get(0, 1), 1), total / max(2 * counts.get(1, 1), 1)]
+    )
+    classifier = PretrainedClassifier(graph.num_features, hidden_dim=32, epochs=60)
+    classifier.fit_graph(graph, class_weight=class_weight)
+    builder = BiasedSubgraphBuilder(
+        graph, classifier.hidden_representations(graph.features), k=8
+    )
+    original = node_homophily_ratios(graph.merged_adjacency(), graph.labels)
+    bots = np.flatnonzero(graph.labels == 1)[:60]
+    subgraph_h = np.nanmean(
+        [builder.build(int(b)).center_homophily(graph.labels) for b in bots]
+    )
+    print(
+        f"  bot homophily: original graph {np.nanmean(original[bots]):.3f} "
+        f"-> biased subgraphs {subgraph_h:.3f}"
+    )
+
+
+def main() -> None:
+    benchmark = load_benchmark("twibot-20", num_users=400, tweets_per_user=10, seed=0)
+    graph = benchmark.graph
+    print(f"Benchmark: {graph}")
+    homophily_report(graph)
+
+    config = BSG4BotConfig(subgraph_k=8, max_epochs=30, patience=6, seed=0)
+    print("\nBackbone comparison (full graph vs biased subgraphs):")
+    print(f"  {'backbone':<10} {'full-graph F1':>14} {'subgraphs F1':>14} {'gain':>8}")
+    for backbone in ("gcn", "gat", "botrgcn"):
+        baseline = get_detector(backbone, max_epochs=30, patience=6, seed=0)
+        baseline.fit(graph)
+        base_f1 = baseline.evaluate(graph)["f1"]
+
+        plugin = BiasedSubgraphPluginDetector(backbone=backbone, config=config)
+        plugin.fit(graph)
+        plugin_f1 = plugin.evaluate(graph)["f1"]
+        print(
+            f"  {backbone:<10} {base_f1:>14.2f} {plugin_f1:>14.2f} {plugin_f1 - base_f1:>+8.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Quickstart: detect bots on a synthetic MGTAB-style benchmark with BSG4Bot.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script builds a small benchmark, trains the full BSG4Bot pipeline
+(pre-classifier -> biased subgraphs -> heterogeneous GNN), compares it with
+the MLP and GCN baselines, and prints the relation-importance weights that
+the semantic attention layer learned.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import get_detector
+from repro.core import BSG4Bot, BSG4BotConfig
+from repro.datasets import load_benchmark
+from repro.graph.homophily import graph_homophily_ratio
+
+
+def main() -> None:
+    print("Building a synthetic MGTAB-style benchmark (500 users, 7 relations)...")
+    benchmark = load_benchmark("mgtab", num_users=500, tweets_per_user=12, seed=0)
+    graph = benchmark.graph
+    stats = benchmark.statistics()
+    homophily = graph_homophily_ratio(graph.merged_adjacency(), graph.labels)
+    print(
+        f"  users={stats['num_users']}  bots={stats['num_bot']}  "
+        f"edges={stats['num_edges']}  relations={stats['num_relations']}  "
+        f"homophily={homophily:.3f}"
+    )
+
+    print("\nTraining BSG4Bot (biased subgraphs, k=8)...")
+    config = BSG4BotConfig(subgraph_k=8, max_epochs=40, patience=8, seed=0)
+    detector = BSG4Bot(config)
+    history = detector.fit(graph)
+    metrics = detector.evaluate(graph)
+    print(
+        f"  converged after {history.num_epochs} epochs "
+        f"({history.total_time:.1f}s total, "
+        f"{history.extra['phase_times']['pretrain']:.1f}s pre-training, "
+        f"{history.extra['phase_times']['subgraph_construction']:.1f}s subgraph construction)"
+    )
+    print(f"  test accuracy = {metrics['accuracy']:.2f}   test F1 = {metrics['f1']:.2f}")
+
+    print("\nLearned relation importances (semantic attention):")
+    for relation, weight in sorted(
+        detector.relation_importance().items(), key=lambda item: -item[1]
+    ):
+        print(f"  {relation:<10} {weight:.3f}")
+
+    print("\nBaselines on the same split:")
+    for name in ("mlp", "gcn", "botrgcn"):
+        baseline = get_detector(name, max_epochs=40, patience=8, seed=0)
+        baseline.fit(graph)
+        baseline_metrics = baseline.evaluate(graph)
+        print(
+            f"  {baseline.name:<8} accuracy = {baseline_metrics['accuracy']:6.2f}   "
+            f"F1 = {baseline_metrics['f1']:6.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

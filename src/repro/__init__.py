@@ -1,0 +1,20 @@
+"""BSG4Bot reproduction: efficient bot detection on biased heterogeneous subgraphs.
+
+Public entry points:
+
+* :func:`repro.datasets.load_benchmark` -- build a synthetic TwiBot-20 /
+  TwiBot-22 / MGTAB-style benchmark.
+* :class:`repro.core.BSG4Bot` -- the paper's detector (pre-classifier, biased
+  subgraph construction, heterogeneous subgraph GNN).
+* :func:`repro.baselines.get_detector` -- any of the twelve baselines (or
+  BSG4Bot) by name.
+* :mod:`repro.experiments` -- runners that regenerate every table and figure
+  of the paper's evaluation section.
+"""
+
+from repro.core import BSG4Bot, BSG4BotConfig
+from repro.datasets import load_benchmark
+
+__version__ = "1.0.0"
+
+__all__ = ["BSG4Bot", "BSG4BotConfig", "load_benchmark", "__version__"]

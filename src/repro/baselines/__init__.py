@@ -1,0 +1,82 @@
+"""Baseline detectors compared against BSG4Bot in Table II.
+
+The twelve baselines fall into the paper's five groups:
+
+* basic methods — :class:`RoBERTaDetector`, :class:`MLPDetector`;
+* traditional GNNs — :class:`GCNDetector`, :class:`GATDetector`;
+* GNNs with samplers — :class:`SlimGDetector`, :class:`GraphSAGEDetector`,
+  :class:`ClusterGCNDetector`;
+* bot-detection systems — :class:`BotRGCNDetector`, :class:`RGTDetector`,
+  :class:`BotMoEDetector`;
+* homophily-aware GNNs — :class:`H2GCNDetector`, :class:`GPRGNNDetector`.
+
+:func:`get_detector` builds any of them (or BSG4Bot itself) by name, which is
+what the experiment harness uses.
+"""
+
+from typing import Callable, Dict, List
+
+from repro.baselines.feature_only import MLPDetector, RoBERTaDetector
+from repro.baselines.fullgraph import (
+    FullGraphGNNDetector,
+    GATDetector,
+    GCNDetector,
+    GPRGNNDetector,
+    GraphSAGEDetector,
+    H2GCNDetector,
+    SlimGDetector,
+)
+from repro.baselines.relational import BotMoEDetector, BotRGCNDetector, RGTDetector
+from repro.baselines.clustergcn import ClusterGCNDetector
+from repro.baselines.plugin import BiasedSubgraphPluginDetector
+from repro.core.base import BotDetector
+from repro.core.pipeline import BSG4Bot
+
+_DETECTOR_FACTORIES: Dict[str, Callable[..., BotDetector]] = {
+    "roberta": RoBERTaDetector,
+    "mlp": MLPDetector,
+    "gcn": GCNDetector,
+    "gat": GATDetector,
+    "graphsage": GraphSAGEDetector,
+    "clustergcn": ClusterGCNDetector,
+    "slimg": SlimGDetector,
+    "botrgcn": BotRGCNDetector,
+    "rgt": RGTDetector,
+    "botmoe": BotMoEDetector,
+    "h2gcn": H2GCNDetector,
+    "gprgnn": GPRGNNDetector,
+    "bsg4bot": BSG4Bot,
+}
+
+
+def available_detectors() -> List[str]:
+    """Names accepted by :func:`get_detector`."""
+    return list(_DETECTOR_FACTORIES.keys())
+
+
+def get_detector(name: str, **kwargs) -> BotDetector:
+    """Instantiate a detector by (case-insensitive) name."""
+    key = name.lower()
+    if key not in _DETECTOR_FACTORIES:
+        raise KeyError(f"unknown detector {name!r}; options: {available_detectors()}")
+    return _DETECTOR_FACTORIES[key](**kwargs)
+
+
+__all__ = [
+    "available_detectors",
+    "get_detector",
+    "RoBERTaDetector",
+    "MLPDetector",
+    "GCNDetector",
+    "GATDetector",
+    "GraphSAGEDetector",
+    "ClusterGCNDetector",
+    "SlimGDetector",
+    "BotRGCNDetector",
+    "RGTDetector",
+    "BotMoEDetector",
+    "H2GCNDetector",
+    "GPRGNNDetector",
+    "FullGraphGNNDetector",
+    "BiasedSubgraphPluginDetector",
+]

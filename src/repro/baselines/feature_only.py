@@ -1,0 +1,96 @@
+"""Feature-only baselines: RoBERTa-features + MLP, and the plain MLP."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.base import BotDetector
+from repro.core.preclassifier import PretrainedClassifier
+from repro.core.trainer import TrainingHistory
+from repro.graph import HeteroGraph
+
+
+def _class_weight(graph: HeteroGraph) -> np.ndarray:
+    counts = graph.class_counts()
+    total = sum(counts.values())
+    return np.array(
+        [total / max(2 * counts.get(0, 1), 1), total / max(2 * counts.get(1, 1), 1)]
+    )
+
+
+class MLPDetector(BotDetector):
+    """Two-layer MLP on the full Eq. 3 features (the paper's pre-classifier)."""
+
+    name = "MLP"
+
+    def __init__(
+        self,
+        hidden_dim: int = 32,
+        lr: float = 0.01,
+        max_epochs: int = 150,
+        patience: int = 10,
+        seed: int = 0,
+    ) -> None:
+        self.hidden_dim = hidden_dim
+        self.lr = lr
+        self.max_epochs = max_epochs
+        self.patience = patience
+        self.seed = seed
+        self.classifier: Optional[PretrainedClassifier] = None
+        self.history: Optional[TrainingHistory] = None
+
+    def _feature_matrix(self, graph: HeteroGraph) -> np.ndarray:
+        return graph.features
+
+    def fit(self, graph: HeteroGraph) -> TrainingHistory:
+        features = self._feature_matrix(graph)
+        self.classifier = PretrainedClassifier(
+            in_features=features.shape[1],
+            hidden_dim=self.hidden_dim,
+            lr=self.lr,
+            epochs=self.max_epochs,
+            patience=self.patience,
+            seed=self.seed,
+        )
+        self.history = self.classifier.fit(
+            features,
+            graph.labels,
+            graph.train_indices(),
+            graph.val_indices(),
+            class_weight=_class_weight(graph),
+        )
+        return self.history
+
+    def predict_proba(self, graph: HeteroGraph) -> np.ndarray:
+        if self.classifier is None:
+            raise RuntimeError("detector must be fitted first")
+        return self.classifier.predict_proba(self._feature_matrix(graph))
+
+
+class RoBERTaDetector(MLPDetector):
+    """MLP restricted to the text blocks (description + tweet embeddings).
+
+    This mirrors the paper's RoBERTa baseline, which feeds only the
+    pretrained-language-model features into an MLP — no metadata and no
+    graph structure.
+    """
+
+    name = "RoBERTa"
+
+    TEXT_BLOCKS = ("description", "tweet")
+
+    def _feature_matrix(self, graph: HeteroGraph) -> np.ndarray:
+        blocks = graph.metadata.get("feature_blocks")
+        if not blocks:
+            # Without block information fall back to the full feature matrix.
+            return graph.features
+        columns = []
+        for name in self.TEXT_BLOCKS:
+            block = blocks.get(name)
+            if block is not None:
+                columns.append(graph.features[:, block])
+        if not columns:
+            return graph.features
+        return np.concatenate(columns, axis=1)

@@ -1,0 +1,217 @@
+"""Relation-aware bot detection baselines: BotRGCN, RGT and BotMoE."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.baselines.fullgraph import FullGraphGNNDetector
+from repro.graph import HeteroGraph, normalized_adjacency
+from repro.nn import Dropout, GATConv, Linear, RGCNConv, SemanticAttention
+from repro.sampling import greedy_partition
+from repro.tensor import Module, Tensor, leaky_relu, relu, softmax
+
+
+def _relation_adjacencies(graph: HeteroGraph, normalize: bool = True) -> Dict[str, sp.csr_matrix]:
+    """Per-relation symmetric normalised adjacencies."""
+    adjacencies = {}
+    for name, relation in graph.relations.items():
+        adjacency = relation.adjacency()
+        adjacency = (adjacency + adjacency.T).tocsr()
+        adjacency.data[:] = 1.0
+        adjacencies[name] = normalized_adjacency(adjacency) if normalize else adjacency
+    return adjacencies
+
+
+# ---------------------------------------------------------------------------
+# BotRGCN
+# ---------------------------------------------------------------------------
+class _BotRGCNModule(Module):
+    """Input projection + stacked RGCN layers + linear classifier."""
+
+    def __init__(self, in_features, hidden_dim, relation_names, num_layers, dropout, rng):
+        super().__init__()
+        self.input_transform = Linear(in_features, hidden_dim, rng)
+        self.convs = [
+            RGCNConv(hidden_dim, hidden_dim, relation_names, rng) for _ in range(num_layers)
+        ]
+        self.dropout = Dropout(dropout, rng)
+        self.classifier = Linear(hidden_dim, 2, rng)
+
+    def forward(self, features: Tensor, adjacencies: Dict[str, sp.csr_matrix]) -> Tensor:
+        hidden = leaky_relu(self.input_transform(features))
+        hidden = self.dropout(hidden)
+        for conv in self.convs:
+            hidden = leaky_relu(conv(hidden, adjacencies))
+            hidden = self.dropout(hidden)
+        return self.classifier(hidden)
+
+
+class BotRGCNDetector(FullGraphGNNDetector):
+    """BotRGCN (baseline 8): relational GCN over the heterogeneous graph."""
+
+    name = "BotRGCN"
+
+    def _build_model(self, graph: HeteroGraph) -> Module:
+        rng = np.random.default_rng(self.seed)
+        return _BotRGCNModule(
+            graph.num_features,
+            self.hidden_dim,
+            graph.relation_names,
+            self.num_layers,
+            self.dropout_rate,
+            rng,
+        )
+
+    def _graph_inputs(self, graph: HeteroGraph) -> dict:
+        return {"adjacencies": _relation_adjacencies(graph)}
+
+    def _logits(self, graph: HeteroGraph, inputs: dict, training: bool) -> Tensor:
+        return self.model(Tensor(graph.features), inputs["adjacencies"])
+
+
+# ---------------------------------------------------------------------------
+# RGT — relational graph transformer
+# ---------------------------------------------------------------------------
+class _RGTModule(Module):
+    """Per-relation attention (GAT-style) encoders fused with semantic attention."""
+
+    def __init__(self, in_features, hidden_dim, relation_names, num_layers, dropout, attention_dim, rng):
+        super().__init__()
+        self.relation_names = list(relation_names)
+        self.input_transform = Linear(in_features, hidden_dim, rng)
+        self.relation_convs = {
+            name: [GATConv(hidden_dim, hidden_dim, rng) for _ in range(num_layers)]
+            for name in self.relation_names
+        }
+        self.dropout = Dropout(dropout, rng)
+        self.semantic_attention = SemanticAttention(hidden_dim, attention_dim, rng)
+        self.classifier = Linear(hidden_dim, 2, rng)
+
+    def forward(self, features: Tensor, adjacencies: Dict[str, sp.csr_matrix]) -> Tensor:
+        hidden = leaky_relu(self.input_transform(features))
+        hidden = self.dropout(hidden)
+        relation_outputs: List[Tensor] = []
+        for name in self.relation_names:
+            current = hidden
+            for conv in self.relation_convs[name]:
+                current = leaky_relu(conv(current, adjacencies[name]))
+                current = self.dropout(current)
+            relation_outputs.append(current)
+        fused, _ = self.semantic_attention(relation_outputs)
+        return self.classifier(fused)
+
+
+class RGTDetector(FullGraphGNNDetector):
+    """RGT (baseline 9): relation/influence heterogeneity with transformers."""
+
+    name = "RGT"
+
+    def __init__(self, attention_dim: int = 16, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.attention_dim = attention_dim
+
+    def _build_model(self, graph: HeteroGraph) -> Module:
+        rng = np.random.default_rng(self.seed)
+        return _RGTModule(
+            graph.num_features,
+            self.hidden_dim,
+            graph.relation_names,
+            self.num_layers,
+            self.dropout_rate,
+            self.attention_dim,
+            rng,
+        )
+
+    def _graph_inputs(self, graph: HeteroGraph) -> dict:
+        return {"adjacencies": _relation_adjacencies(graph, normalize=False)}
+
+    def _logits(self, graph: HeteroGraph, inputs: dict, training: bool) -> Tensor:
+        return self.model(Tensor(graph.features), inputs["adjacencies"])
+
+
+# ---------------------------------------------------------------------------
+# BotMoE — community-aware mixture of experts
+# ---------------------------------------------------------------------------
+class _BotMoEModule(Module):
+    """Mixture of per-community experts with a soft gating network.
+
+    Each expert is an RGCN encoder; the gate mixes expert logits per node
+    from node features plus a one-hot community prior, which mirrors the
+    community-aware expert routing of BotMoE.
+    """
+
+    def __init__(
+        self,
+        in_features,
+        hidden_dim,
+        relation_names,
+        num_experts,
+        dropout,
+        rng,
+    ):
+        super().__init__()
+        self.num_experts = num_experts
+        self.input_transform = Linear(in_features, hidden_dim, rng)
+        self.experts = [
+            RGCNConv(hidden_dim, hidden_dim, relation_names, rng) for _ in range(num_experts)
+        ]
+        self.expert_heads = [Linear(hidden_dim, 2, rng) for _ in range(num_experts)]
+        self.gate = Linear(in_features + num_experts, num_experts, rng)
+        self.dropout = Dropout(dropout, rng)
+
+    def forward(
+        self,
+        features: Tensor,
+        adjacencies: Dict[str, sp.csr_matrix],
+        community_onehot: np.ndarray,
+    ) -> Tensor:
+        hidden = leaky_relu(self.input_transform(features))
+        hidden = self.dropout(hidden)
+
+        gate_input = Tensor(np.concatenate([features.numpy(), community_onehot], axis=1))
+        gate_weights = softmax(self.gate(gate_input), axis=-1)  # (n, E)
+
+        output = None
+        for index, (expert, head) in enumerate(zip(self.experts, self.expert_heads)):
+            expert_hidden = leaky_relu(expert(hidden, adjacencies))
+            expert_logits = head(self.dropout(expert_hidden))  # (n, 2)
+            weight = gate_weights[:, index].reshape(-1, 1)  # (n, 1)
+            term = expert_logits * weight
+            output = term if output is None else output + term
+        return output
+
+
+class BotMoEDetector(FullGraphGNNDetector):
+    """BotMoE (baseline 10): community-aware mixture of modal experts."""
+
+    name = "BotMoE"
+
+    def __init__(self, num_experts: int = 3, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.num_experts = num_experts
+
+    def _build_model(self, graph: HeteroGraph) -> Module:
+        rng = np.random.default_rng(self.seed)
+        return _BotMoEModule(
+            graph.num_features,
+            self.hidden_dim,
+            graph.relation_names,
+            self.num_experts,
+            self.dropout_rate,
+            rng,
+        )
+
+    def _graph_inputs(self, graph: HeteroGraph) -> dict:
+        partition = greedy_partition(graph.merged_adjacency(), self.num_experts, seed=self.seed)
+        onehot = np.zeros((graph.num_nodes, self.num_experts))
+        onehot[np.arange(graph.num_nodes), partition] = 1.0
+        return {
+            "adjacencies": _relation_adjacencies(graph),
+            "community_onehot": onehot,
+        }
+
+    def _logits(self, graph: HeteroGraph, inputs: dict, training: bool) -> Tensor:
+        return self.model(Tensor(graph.features), inputs["adjacencies"], inputs["community_onehot"])

@@ -1,0 +1,79 @@
+"""Command-line interface for the reproduction.
+
+Three subcommands cover the common workflows:
+
+``python -m repro benchmarks``
+    Print Table I statistics for the three synthetic benchmarks.
+
+``python -m repro run <experiment> [--scale small|medium] [--seed N]``
+    Run one experiment (``table1`` ... ``fig10``) and print the regenerated
+    table or series.
+
+``python -m repro report <results_dir> [--experiment ID]``
+    Re-render experiment results previously saved by the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import EXPERIMENTS, run_experiment, table1
+from repro.experiments.report import render_results_dir
+from repro.experiments.settings import MEDIUM, SMALL
+
+_SCALES = {"small": SMALL, "medium": MEDIUM}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BSG4Bot reproduction: run experiments and inspect results.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("benchmarks", help="print statistics of the synthetic benchmarks")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment (table/figure)")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment id")
+    run_parser.add_argument("--scale", choices=sorted(_SCALES), default="small")
+    run_parser.add_argument("--seed", type=int, default=0)
+
+    report_parser = subparsers.add_parser("report", help="render saved benchmark results")
+    report_parser.add_argument("results_dir", help="directory with <experiment>.json files")
+    report_parser.add_argument(
+        "--experiment", action="append", dest="experiments", default=None,
+        help="limit the report to one experiment (repeatable)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "benchmarks":
+        result = table1.run(scale=SMALL)
+        print(table1.format_result(result))
+        return 0
+
+    if args.command == "run":
+        scale = _SCALES[args.scale]
+        module = EXPERIMENTS[args.experiment]
+        kwargs = {"scale": scale}
+        # Every experiment accepts a seed except where it is irrelevant.
+        if "seed" in module.run.__code__.co_varnames:
+            kwargs["seed"] = args.seed
+        result = run_experiment(args.experiment, **kwargs)
+        print(module.format_result(result))
+        return 0
+
+    if args.command == "report":
+        print(render_results_dir(args.results_dir, args.experiments))
+        return 0
+
+    return 1  # pragma: no cover - argparse enforces the choices above
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

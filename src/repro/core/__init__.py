@@ -1,0 +1,43 @@
+"""BSG4Bot core: the paper's primary contribution.
+
+The package wires the substrates together: the pre-trained MLP classifier
+(Section III-C), the biased subgraph construction (Section III-D), the
+heterogeneous subgraph learner with intermediate-representation concatenation
+and semantic attention (Section III-E), and the batched training/inference
+loop (Section III-F).
+"""
+
+from repro.core.config import BSG4BotConfig
+from repro.core.metrics import (
+    accuracy_score,
+    binary_classification_report,
+    confusion_counts,
+    f1_score,
+    precision_score,
+    recall_score,
+)
+from repro.core.preclassifier import PretrainedClassifier
+from repro.core.model import BSG4BotModel
+from repro.core.trainer import EarlyStopping, TrainingHistory, train_node_classifier
+from repro.core.pipeline import BSG4Bot
+from repro.core.base import BotDetector
+from repro.core.serialization import load_module_state, save_module_state
+
+__all__ = [
+    "BSG4BotConfig",
+    "BSG4Bot",
+    "BSG4BotModel",
+    "PretrainedClassifier",
+    "BotDetector",
+    "EarlyStopping",
+    "TrainingHistory",
+    "train_node_classifier",
+    "accuracy_score",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "confusion_counts",
+    "binary_classification_report",
+    "save_module_state",
+    "load_module_state",
+]

@@ -1,0 +1,43 @@
+"""Common interface shared by BSG4Bot and every baseline detector."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.metrics import binary_classification_report
+from repro.core.trainer import TrainingHistory
+from repro.graph import HeteroGraph
+
+
+class BotDetector:
+    """Abstract bot detector with the fit / predict / evaluate protocol.
+
+    Every model in the reproduction — BSG4Bot and the twelve baselines —
+    implements this interface so the experiment harness can sweep over them
+    uniformly (Table II, III, IV, Figure 7, Figure 9).
+    """
+
+    name: str = "detector"
+
+    def fit(self, graph: HeteroGraph) -> TrainingHistory:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def predict_proba(self, graph: HeteroGraph) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def predict(self, graph: HeteroGraph) -> np.ndarray:
+        """Hard label predictions (0 = human, 1 = bot) for every node."""
+        return self.predict_proba(graph).argmax(axis=1)
+
+    def evaluate(self, graph: HeteroGraph, mask: Optional[np.ndarray] = None) -> Dict[str, float]:
+        """Accuracy/precision/recall/F1 on ``mask`` (default: the test split)."""
+        if mask is None:
+            mask = graph.test_mask
+        indices = np.flatnonzero(mask)
+        predictions = self.predict(graph)
+        return binary_classification_report(graph.labels[indices], predictions[indices])
+
+    def __repr__(self) -> str:
+        return f"{self.__class__.__name__}(name={self.name!r})"

@@ -1,0 +1,64 @@
+"""Configuration for the BSG4Bot pipeline and its ablation switches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+@dataclass
+class BSG4BotConfig:
+    """Hyper-parameters of BSG4Bot.
+
+    The defaults follow the paper where stated (lambda = 0.5 in Eq. 8,
+    two GNN layers, leaky-ReLU activations, dropout + early stopping) and use
+    laptop-scale values elsewhere.  The three ``use_*`` switches implement the
+    ablations of Table V.
+    """
+
+    # Pre-trained classifier (Section III-C).
+    pretrain_hidden_dim: int = 32
+    pretrain_epochs: int = 60
+    pretrain_lr: float = 0.01
+
+    # Biased subgraph construction (Section III-D).
+    subgraph_k: int = 16
+    ppr_alpha: float = 0.15
+    ppr_epsilon: float = 1e-4
+    mix_lambda: float = 0.5
+    use_biased_subgraphs: bool = True  # False -> PPR-only subgraphs (Table V)
+
+    # Heterogeneous subgraph learning (Section III-E).
+    hidden_dim: int = 32
+    num_layers: int = 2
+    dropout: float = 0.3
+    attention_dim: int = 16
+    use_intermediate_concat: bool = True  # False -> last layer only (Table V)
+    use_semantic_attention: bool = True  # False -> mean pooling (Table V)
+
+    # Training (Section III-F).
+    lr: float = 0.01
+    weight_decay: float = 5e-4
+    max_epochs: int = 100
+    min_epochs: int = 12
+    patience: int = 10
+    batch_size: int = 64
+    seed: int = 0
+
+    def with_overrides(self, **kwargs) -> "BSG4BotConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    def validate(self) -> None:
+        if self.subgraph_k <= 0:
+            raise ValueError("subgraph_k must be positive")
+        if not 0.0 <= self.mix_lambda <= 1.0:
+            raise ValueError("mix_lambda must be in [0, 1]")
+        if self.num_layers <= 0:
+            raise ValueError("num_layers must be positive")
+        if self.hidden_dim <= 0 or self.pretrain_hidden_dim <= 0:
+            raise ValueError("hidden dimensions must be positive")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ValueError("dropout must be in [0, 1)")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")

@@ -1,0 +1,60 @@
+"""Binary classification metrics (bot = positive class), as reported in the paper."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+def confusion_counts(y_true: np.ndarray, y_pred: np.ndarray) -> Tuple[int, int, int, int]:
+    """Return (true positives, false positives, true negatives, false negatives)."""
+    y_true = np.asarray(y_true).astype(np.int64)
+    y_pred = np.asarray(y_pred).astype(np.int64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    tp = int(np.sum((y_true == 1) & (y_pred == 1)))
+    fp = int(np.sum((y_true == 0) & (y_pred == 1)))
+    tn = int(np.sum((y_true == 0) & (y_pred == 0)))
+    fn = int(np.sum((y_true == 1) & (y_pred == 0)))
+    return tp, fp, tn, fn
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.size == 0:
+        return float("nan")
+    return float(np.mean(y_true == y_pred))
+
+
+def precision_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    tp, fp, _, _ = confusion_counts(y_true, y_pred)
+    if tp + fp == 0:
+        return 0.0
+    return tp / (tp + fp)
+
+
+def recall_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    tp, _, _, fn = confusion_counts(y_true, y_pred)
+    if tp + fn == 0:
+        return 0.0
+    return tp / (tp + fn)
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    precision = precision_score(y_true, y_pred)
+    recall = recall_score(y_true, y_pred)
+    if precision + recall == 0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def binary_classification_report(y_true: np.ndarray, y_pred: np.ndarray) -> Dict[str, float]:
+    """Accuracy, precision, recall and F1 in one dictionary (percentages)."""
+    return {
+        "accuracy": 100.0 * accuracy_score(y_true, y_pred),
+        "precision": 100.0 * precision_score(y_true, y_pred),
+        "recall": 100.0 * recall_score(y_true, y_pred),
+        "f1": 100.0 * f1_score(y_true, y_pred),
+    }

@@ -1,0 +1,55 @@
+"""Saving and loading model parameters.
+
+Trained detectors hold their weights in :class:`repro.tensor.Module`
+instances; these helpers persist a module's ``state_dict`` to a compressed
+``.npz`` file so a trained BSG4Bot (or any baseline) can be reused without
+retraining.
+
+.. code-block:: python
+
+    from repro.core.serialization import load_module_state, save_module_state
+
+    detector.fit(graph)
+    save_module_state(detector.model, "bsg4bot_weights.npz")
+    ...
+    save_module_state(detector.model, path)
+    load_module_state(fresh_detector.model, path)
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.tensor import Module
+
+PathLike = Union[str, Path]
+
+
+def save_module_state(module: Module, path: PathLike) -> Path:
+    """Write ``module.state_dict()`` to ``path`` as a compressed ``.npz``."""
+    path = Path(path)
+    state = module.state_dict()
+    if not state:
+        raise ValueError("module has no parameters to save")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **state)
+    return path
+
+
+def load_module_state(module: Module, path: PathLike) -> Module:
+    """Load parameters saved by :func:`save_module_state` into ``module``.
+
+    The module must already have the same architecture (parameter names and
+    shapes); mismatches raise ``KeyError`` / ``ValueError`` from
+    :meth:`repro.tensor.Module.load_state_dict`.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no saved state at {path}")
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state)
+    return module

@@ -1,0 +1,135 @@
+"""Training utilities: early stopping, history tracking, full-graph training loop."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.metrics import accuracy_score, f1_score
+from repro.tensor import Adam, Tensor, cross_entropy, l2_penalty
+
+
+class EarlyStopping:
+    """Stop training when the monitored score stops improving.
+
+    Mirrors the paper's setup: "#Epochs refers to the number of training
+    epochs before early stopping is triggered due to a lack of improvement on
+    the validation set."
+    """
+
+    def __init__(self, patience: int = 10, min_delta: float = 1e-4) -> None:
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best_score: float = -np.inf
+        self.best_epoch: int = -1
+        self.counter: int = 0
+
+    def update(self, score: float, epoch: int) -> bool:
+        """Record a new score; return True when training should stop."""
+        if score > self.best_score + self.min_delta:
+            self.best_score = score
+            self.best_epoch = epoch
+            self.counter = 0
+            return False
+        self.counter += 1
+        return self.counter >= self.patience
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch record of one training run."""
+
+    train_losses: List[float] = field(default_factory=list)
+    val_scores: List[float] = field(default_factory=list)
+    epoch_times: List[float] = field(default_factory=list)
+    best_epoch: int = -1
+    best_val_score: float = float("-inf")
+    total_time: float = 0.0
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def num_epochs(self) -> int:
+        return len(self.train_losses)
+
+    @property
+    def mean_epoch_time(self) -> float:
+        return float(np.mean(self.epoch_times)) if self.epoch_times else 0.0
+
+
+def _validation_score(logits: np.ndarray, labels: np.ndarray, indices: np.ndarray, metric: str) -> float:
+    if indices.size == 0:
+        return 0.0
+    predictions = logits[indices].argmax(axis=1)
+    truth = labels[indices]
+    if metric == "f1":
+        return f1_score(truth, predictions)
+    if metric == "accuracy":
+        return accuracy_score(truth, predictions)
+    if metric == "f1+accuracy":
+        return 0.5 * (f1_score(truth, predictions) + accuracy_score(truth, predictions))
+    raise ValueError(f"unknown metric {metric!r}")
+
+
+def train_node_classifier(
+    forward: Callable[[bool], Tensor],
+    parameters: List[Tensor],
+    labels: np.ndarray,
+    train_indices: np.ndarray,
+    val_indices: np.ndarray,
+    lr: float = 0.01,
+    weight_decay: float = 5e-4,
+    max_epochs: int = 200,
+    patience: int = 10,
+    class_weight: Optional[np.ndarray] = None,
+    metric: str = "f1+accuracy",
+    on_epoch_end: Optional[Callable[[int, float, float], None]] = None,
+) -> TrainingHistory:
+    """Generic full-graph training loop used by all baseline detectors.
+
+    ``forward(training)`` must return the logits Tensor for *all* nodes; the
+    loss is computed on ``train_indices`` and early stopping is driven by the
+    validation score.  The best parameter snapshot is restored before return.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    train_indices = np.asarray(train_indices, dtype=np.int64)
+    val_indices = np.asarray(val_indices, dtype=np.int64)
+    optimizer = Adam(parameters, lr=lr)
+    stopper = EarlyStopping(patience=patience)
+    history = TrainingHistory()
+    best_state = [p.data.copy() for p in parameters]
+    start_time = time.perf_counter()
+
+    for epoch in range(max_epochs):
+        epoch_start = time.perf_counter()
+        optimizer.zero_grad()
+        logits = forward(True)
+        loss = cross_entropy(logits[train_indices], labels[train_indices], weight=class_weight)
+        if weight_decay:
+            loss = loss + l2_penalty(parameters, weight_decay)
+        loss.backward()
+        optimizer.step()
+
+        eval_logits = forward(False).numpy()
+        score = _validation_score(eval_logits, labels, val_indices, metric)
+        history.train_losses.append(loss.item())
+        history.val_scores.append(score)
+        history.epoch_times.append(time.perf_counter() - epoch_start)
+        if on_epoch_end is not None:
+            on_epoch_end(epoch, loss.item(), score)
+
+        improved = score > stopper.best_score
+        should_stop = stopper.update(score, epoch)
+        if improved:
+            best_state = [p.data.copy() for p in parameters]
+        if should_stop:
+            break
+
+    for param, saved in zip(parameters, best_state):
+        param.data = saved
+    history.best_epoch = stopper.best_epoch
+    history.best_val_score = stopper.best_score
+    history.total_time = time.perf_counter() - start_time
+    return history

@@ -1,0 +1,218 @@
+"""Benchmark factories: synthetic TwiBot-20, TwiBot-22 and MGTAB equivalents.
+
+Each factory simulates the raw accounts, generates the relation graph,
+assembles the Eq. 3 node features and packs everything into a
+:class:`BotBenchmark`.  Sizes are scaled down from Table I so the whole
+evaluation runs on a laptop; class balance, relation counts, homophily
+profile and the community structure of TwiBot-22 are preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.datasets.network import NetworkConfig, generate_relations
+from repro.datasets.splits import split_masks
+from repro.datasets.users import BOT, HUMAN, UserRecord, UserSimulator
+from repro.features.pipeline import FeatureConfig, FeaturePipeline
+from repro.graph import HeteroGraph
+
+
+@dataclass
+class BotBenchmark:
+    """A benchmark instance: the graph, the raw records and the communities."""
+
+    name: str
+    graph: HeteroGraph
+    users: List[UserRecord]
+    communities: np.ndarray
+    feature_pipeline: FeaturePipeline
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def num_communities(self) -> int:
+        return int(self.communities.max()) + 1 if self.communities.size else 0
+
+    def community_indices(self, community: int) -> np.ndarray:
+        return np.flatnonzero(self.communities == community)
+
+    def community_graph(self, community: int) -> HeteroGraph:
+        """Induced subgraph of one community (used in the Figure 9 study)."""
+        return self.graph.node_subgraph(self.community_indices(community))
+
+    def statistics(self) -> dict:
+        stats = self.graph.statistics()
+        stats["num_communities"] = self.num_communities
+        return stats
+
+
+def _build_benchmark(
+    name: str,
+    num_users: int,
+    bot_fraction: float,
+    num_communities: int,
+    network_config: NetworkConfig,
+    difficulty: float,
+    feature_config: FeatureConfig,
+    seed: int,
+    tweets_per_user: int,
+    train_fraction: float = 0.6,
+    val_fraction: float = 0.2,
+    has_temporal_data: bool = True,
+) -> BotBenchmark:
+    rng = np.random.default_rng(seed)
+    labels = (rng.random(num_users) < bot_fraction).astype(np.int64)
+    # Guarantee both classes exist even for tiny instances.
+    if labels.sum() == 0:
+        labels[rng.integers(num_users)] = BOT
+    if labels.sum() == num_users:
+        labels[rng.integers(num_users)] = HUMAN
+    communities = rng.integers(0, num_communities, size=num_users)
+
+    simulator = UserSimulator(
+        seed=seed + 1,
+        difficulty=difficulty,
+        tweets_per_user=tweets_per_user,
+    )
+    users = simulator.draw_population(labels, communities)
+
+    relations = generate_relations(labels, communities, network_config)
+
+    pipeline = FeaturePipeline(feature_config)
+    features = pipeline.transform(users)
+
+    train_mask, val_mask, test_mask = split_masks(
+        num_users,
+        train_fraction=train_fraction,
+        val_fraction=val_fraction,
+        seed=seed + 2,
+        labels=labels,
+    )
+
+    graph = HeteroGraph(
+        num_nodes=num_users,
+        features=features,
+        labels=labels,
+        relations=relations,
+        train_mask=train_mask,
+        val_mask=val_mask,
+        test_mask=test_mask,
+        name=name,
+        metadata={
+            "difficulty": difficulty,
+            "has_temporal_data": has_temporal_data,
+            "feature_blocks": dict(pipeline.block_slices),
+        },
+    )
+    return BotBenchmark(
+        name=name,
+        graph=graph,
+        users=users,
+        communities=communities,
+        feature_pipeline=pipeline,
+        metadata={
+            "difficulty": difficulty,
+            "bot_fraction": bot_fraction,
+            "has_temporal_data": has_temporal_data,
+            "seed": seed,
+        },
+    )
+
+
+def twibot20(
+    num_users: int = 1200,
+    seed: int = 0,
+    feature_config: Optional[FeatureConfig] = None,
+    tweets_per_user: int = 24,
+) -> BotBenchmark:
+    """TwiBot-20-like benchmark: ~56% bots, 2 relations, relatively separable.
+
+    The real TwiBot-20 has 229,580 users of which 11,826 are labelled
+    (5,237 human / 6,589 bot); like prior work we model the labelled core.
+    The paper notes the raw data lacks tweet timestamps, so the temporal
+    ablation is skipped on this benchmark (``has_temporal_data=False``).
+    """
+    config = feature_config or FeatureConfig(seed=seed)
+    return _build_benchmark(
+        name="twibot-20",
+        num_users=num_users,
+        bot_fraction=0.557,
+        num_communities=3,
+        network_config=NetworkConfig.twitter_two_relations(seed=seed + 10, bot_to_bot=0.2),
+        difficulty=0.28,
+        feature_config=config,
+        seed=seed,
+        tweets_per_user=tweets_per_user,
+        has_temporal_data=False,
+    )
+
+
+def twibot22(
+    num_users: int = 2000,
+    seed: int = 0,
+    feature_config: Optional[FeatureConfig] = None,
+    num_communities: int = 10,
+    tweets_per_user: int = 24,
+) -> BotBenchmark:
+    """TwiBot-22-like benchmark: ~14% bots, 2 relations, 10 communities, hard.
+
+    The higher ``difficulty`` makes a large fraction of bots mimic human
+    metadata and content, which is what pushes every model's F1 into the
+    50-60 range in the paper's Table II.
+    """
+    config = feature_config or FeatureConfig(seed=seed)
+    return _build_benchmark(
+        name="twibot-22",
+        num_users=num_users,
+        bot_fraction=0.14,
+        num_communities=num_communities,
+        network_config=NetworkConfig.twitter_two_relations(seed=seed + 10, bot_to_bot=0.1),
+        difficulty=0.45,
+        feature_config=config,
+        seed=seed,
+        tweets_per_user=tweets_per_user,
+    )
+
+
+def mgtab(
+    num_users: int = 1000,
+    seed: int = 0,
+    feature_config: Optional[FeatureConfig] = None,
+    tweets_per_user: int = 24,
+) -> BotBenchmark:
+    """MGTAB-like benchmark: ~27% bots, 7 relations, graph homophily ~0.65."""
+    config = feature_config or FeatureConfig(seed=seed)
+    return _build_benchmark(
+        name="mgtab",
+        num_users=num_users,
+        bot_fraction=0.27,
+        num_communities=3,
+        network_config=NetworkConfig.mgtab_seven_relations(seed=seed + 10),
+        difficulty=0.15,
+        feature_config=config,
+        seed=seed,
+        tweets_per_user=tweets_per_user,
+    )
+
+
+_BENCHMARK_FACTORIES: Dict[str, Callable[..., BotBenchmark]] = {
+    "twibot-20": twibot20,
+    "twibot-22": twibot22,
+    "mgtab": mgtab,
+}
+
+
+def available_benchmarks() -> List[str]:
+    """Names accepted by :func:`load_benchmark`."""
+    return list(_BENCHMARK_FACTORIES.keys())
+
+
+def load_benchmark(name: str, **kwargs) -> BotBenchmark:
+    """Build a benchmark by name (``twibot-20``, ``twibot-22`` or ``mgtab``)."""
+    key = name.lower()
+    if key not in _BENCHMARK_FACTORIES:
+        raise KeyError(f"unknown benchmark {name!r}; options: {available_benchmarks()}")
+    return _BENCHMARK_FACTORIES[key](**kwargs)

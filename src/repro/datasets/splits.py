@@ -1,0 +1,68 @@
+"""Train/validation/test split helpers."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def split_masks(
+    num_nodes: int,
+    train_fraction: float = 0.6,
+    val_fraction: float = 0.2,
+    seed: int = 0,
+    labels: np.ndarray | None = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Random (optionally label-stratified) train/val/test boolean masks."""
+    if train_fraction <= 0 or val_fraction < 0 or train_fraction + val_fraction >= 1:
+        raise ValueError("fractions must satisfy 0 < train, 0 <= val, train + val < 1")
+    rng = np.random.default_rng(seed)
+    train_mask = np.zeros(num_nodes, dtype=bool)
+    val_mask = np.zeros(num_nodes, dtype=bool)
+    test_mask = np.zeros(num_nodes, dtype=bool)
+
+    if labels is None:
+        groups = [np.arange(num_nodes)]
+    else:
+        labels = np.asarray(labels)
+        groups = [np.flatnonzero(labels == value) for value in np.unique(labels)]
+
+    for group in groups:
+        permuted = rng.permutation(group)
+        n_train = max(int(round(train_fraction * group.size)), 1)
+        n_val = int(round(val_fraction * group.size))
+        train_mask[permuted[:n_train]] = True
+        val_mask[permuted[n_train : n_train + n_val]] = True
+        test_mask[permuted[n_train + n_val :]] = True
+    return train_mask, val_mask, test_mask
+
+
+def subsample_train_mask(
+    train_mask: np.ndarray,
+    fraction: float,
+    seed: int = 0,
+    labels: np.ndarray | None = None,
+) -> np.ndarray:
+    """Keep only ``fraction`` of the training nodes (Figure 7 sweep).
+
+    When ``labels`` are given the subsample is stratified so that small
+    fractions still contain both classes.
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    indices = np.flatnonzero(train_mask)
+    new_mask = np.zeros_like(train_mask)
+    if labels is None:
+        groups = [indices]
+    else:
+        labels = np.asarray(labels)
+        groups = [indices[labels[indices] == value] for value in np.unique(labels[indices])]
+    for group in groups:
+        if group.size == 0:
+            continue
+        keep = max(int(round(fraction * group.size)), 1)
+        chosen = rng.permutation(group)[:keep]
+        new_mask[chosen] = True
+    return new_mask

@@ -1,0 +1,77 @@
+"""Topic vocabularies used to synthesise tweet text.
+
+Each topic has a handful of signature keywords.  A tweet about a topic mixes
+several of its keywords with generic filler words, so the pseudo-RoBERTa
+encoder places tweets of the same topic close together and K-Means recovers
+topic-like content categories — reproducing the behaviour the paper observes
+in Figure 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+TOPIC_KEYWORDS: Dict[str, List[str]] = {
+    "politics": ["election", "senate", "vote", "policy", "congress", "campaign"],
+    "sports": ["game", "score", "team", "league", "playoffs", "coach"],
+    "crypto": ["bitcoin", "token", "airdrop", "blockchain", "wallet", "pump"],
+    "music": ["album", "concert", "tour", "single", "playlist", "band"],
+    "movies": ["trailer", "premiere", "boxoffice", "sequel", "director", "cast"],
+    "tech": ["startup", "gadget", "software", "launch", "update", "device"],
+    "science": ["research", "study", "experiment", "journal", "data", "lab"],
+    "health": ["fitness", "diet", "wellness", "sleep", "workout", "nutrition"],
+    "finance": ["stocks", "market", "earnings", "dividend", "portfolio", "trading"],
+    "travel": ["flight", "hotel", "beach", "itinerary", "passport", "adventure"],
+    "food": ["recipe", "restaurant", "dinner", "baking", "chef", "delicious"],
+    "fashion": ["outfit", "style", "designer", "runway", "trend", "collection"],
+    "gaming": ["console", "stream", "esports", "patch", "speedrun", "lobby"],
+    "weather": ["storm", "forecast", "heatwave", "rainfall", "hurricane", "snow"],
+    "news": ["breaking", "report", "headline", "coverage", "update", "sources"],
+    "memes": ["lol", "meme", "viral", "funny", "relatable", "mood"],
+    "pets": ["puppy", "kitten", "rescue", "adopt", "vet", "fluffy"],
+    "books": ["novel", "author", "chapter", "reading", "bookclub", "library"],
+    "cars": ["engine", "horsepower", "roadtrip", "electric", "garage", "torque"],
+    "promo": ["discount", "giveaway", "promo", "limited", "offer", "deal"],
+    "conspiracy": ["coverup", "truth", "exposed", "agenda", "wake", "sheeple"],
+    "spam": ["follow", "followback", "gain", "free", "click", "link"],
+}
+
+FILLER_WORDS: List[str] = [
+    "today",
+    "really",
+    "just",
+    "think",
+    "people",
+    "time",
+    "right",
+    "never",
+    "always",
+    "great",
+    "new",
+    "best",
+    "check",
+    "this",
+    "wow",
+]
+
+TOPIC_NAMES: List[str] = list(TOPIC_KEYWORDS.keys())
+
+# Topics that bots disproportionately focus on (task-oriented behaviour).
+BOT_PREFERRED_TOPICS: List[str] = ["crypto", "promo", "spam", "politics", "conspiracy", "news"]
+
+
+def compose_tweet(topic: str, rng: np.random.Generator, mention: str | None = None) -> str:
+    """Build one synthetic tweet string dominated by ``topic`` keywords."""
+    keywords = TOPIC_KEYWORDS[topic]
+    chosen = list(rng.choice(keywords, size=min(3, len(keywords)), replace=False))
+    fillers = list(rng.choice(FILLER_WORDS, size=3, replace=False))
+    words = chosen + fillers
+    rng.shuffle(words)
+    text = " ".join(words)
+    if mention is not None:
+        text = f"@{mention} " + text
+    if rng.random() < 0.3:
+        text += f" #{topic}"
+    return text

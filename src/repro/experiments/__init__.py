@@ -1,0 +1,64 @@
+"""Experiment harness: one runner per table and figure of the paper.
+
+Every module exposes ``run(...)`` returning a plain dictionary with the
+numbers that the corresponding paper artifact reports, plus a
+``format_result`` helper that renders the same rows/series as text.  The
+``benchmarks/`` directory wires each runner into pytest-benchmark.
+
+| Paper artifact | Module |
+|----------------|--------|
+| Table I        | :mod:`repro.experiments.table1` |
+| Table II       | :mod:`repro.experiments.table2` |
+| Table III      | :mod:`repro.experiments.table3` |
+| Table IV       | :mod:`repro.experiments.table4` |
+| Table V        | :mod:`repro.experiments.table5` |
+| Figure 2       | :mod:`repro.experiments.fig2` |
+| Figure 3       | :mod:`repro.experiments.fig3` |
+| Figure 4       | :mod:`repro.experiments.fig4` |
+| Figure 7       | :mod:`repro.experiments.fig7` |
+| Figure 8       | :mod:`repro.experiments.fig8` |
+| Figure 9       | :mod:`repro.experiments.fig9` |
+| Figure 10      | :mod:`repro.experiments.fig10` |
+"""
+
+from repro.experiments.settings import ExperimentScale, SMALL, MEDIUM
+from repro.experiments import (
+    fig2,
+    fig3,
+    fig4,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+
+EXPERIMENTS = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "fig2": fig2,
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+}
+
+
+def run_experiment(name: str, **kwargs):
+    """Run one experiment by id (e.g. ``"table2"`` or ``"fig8"``)."""
+    key = name.lower()
+    if key not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; options: {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[key].run(**kwargs)
+
+
+__all__ = ["EXPERIMENTS", "run_experiment", "ExperimentScale", "SMALL", "MEDIUM"]

@@ -1,0 +1,66 @@
+"""Figure 2 — distribution of tweet content categories, bots vs humans.
+
+Tweets from sampled communities are embedded (pseudo-RoBERTa), clustered into
+20 categories with K-Means, and each user is summarised by the number of
+distinct categories their tweets fall into.  Shape expected from the paper:
+the bot distribution is concentrated on few categories while genuine users
+spread over many more.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.experiments.runner import build_benchmark
+from repro.experiments.settings import SMALL, ExperimentScale
+from repro.features.categories import category_counts, cluster_tweets
+from repro.text import PseudoTextEncoder
+
+
+def run(
+    scale: ExperimentScale = SMALL,
+    seed: int = 0,
+    benchmark_name: str = "twibot-22",
+    n_categories: int = 20,
+    num_communities: int = 3,
+) -> Dict[str, object]:
+    """Histogram of per-user category counts for bots and genuine users."""
+    benchmark = build_benchmark(benchmark_name, scale=scale, seed=seed)
+    selected_communities = list(range(min(num_communities, max(benchmark.num_communities, 1))))
+    user_indices = np.concatenate(
+        [benchmark.community_indices(c) for c in selected_communities]
+    )
+    users = [benchmark.users[i] for i in user_indices]
+    labels = benchmark.graph.labels[user_indices]
+
+    encoder = PseudoTextEncoder(dim=32, seed=seed)
+    per_user, kmeans = cluster_tweets(users, encoder, n_categories=n_categories, seed=seed)
+    counts = category_counts(per_user, kmeans.n_clusters)
+
+    bins = np.arange(1, n_categories + 2)
+    bot_hist, _ = np.histogram(counts[labels == 1], bins=bins)
+    human_hist, _ = np.histogram(counts[labels == 0], bins=bins)
+    bot_total = max(bot_hist.sum(), 1)
+    human_total = max(human_hist.sum(), 1)
+    return {
+        "bins": bins[:-1].tolist(),
+        "bot_percentage": (bot_hist / bot_total).tolist(),
+        "human_percentage": (human_hist / human_total).tolist(),
+        "bot_mean_categories": float(counts[labels == 1].mean()),
+        "human_mean_categories": float(counts[labels == 0].mean()),
+    }
+
+
+def format_result(result: Dict[str, object]) -> str:
+    lines = ["# categories | bot % | human %"]
+    for bin_value, bot, human in zip(
+        result["bins"], result["bot_percentage"], result["human_percentage"]
+    ):
+        lines.append(f"{bin_value:>12} | {100 * bot:5.1f} | {100 * human:5.1f}")
+    lines.append(
+        f"mean categories: bots {result['bot_mean_categories']:.2f}, "
+        f"humans {result['human_mean_categories']:.2f}"
+    )
+    return "\n".join(lines)

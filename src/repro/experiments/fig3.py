@@ -1,0 +1,76 @@
+"""Figure 3 — monthly tweet counts of bots and humans over 18 months.
+
+For each sampled community the experiment records the per-month tweet counts
+of bots and genuine users.  Shape expected from the paper: the human series
+show high variability (spikes and quiet periods) while the bot series are
+flat and regular.  The summary statistic used for the automated check is the
+coefficient of variation of the per-user monthly series.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.datasets.users import ACTIVITY_MONTHS
+from repro.experiments.runner import build_benchmark
+from repro.experiments.settings import SMALL, ExperimentScale
+
+
+def _series_for(users, indices, months: int) -> np.ndarray:
+    counts = np.zeros(months)
+    for index in indices:
+        counts += users[index].monthly_tweet_counts(months=months)
+    return counts
+
+
+def run(
+    scale: ExperimentScale = SMALL,
+    seed: int = 0,
+    benchmark_name: str = "twibot-22",
+    num_communities: int = 3,
+    months: int = ACTIVITY_MONTHS,
+) -> Dict[str, object]:
+    """Monthly tweet-count series per community plus per-user variability."""
+    benchmark = build_benchmark(benchmark_name, scale=scale, seed=seed)
+    labels = benchmark.graph.labels
+    communities: List[Dict[str, object]] = []
+    cv_bot, cv_human = [], []
+    for community in range(min(num_communities, max(benchmark.num_communities, 1))):
+        indices = benchmark.community_indices(community)
+        bot_indices = indices[labels[indices] == 1]
+        human_indices = indices[labels[indices] == 0]
+        communities.append(
+            {
+                "community": community,
+                "bot_series": _series_for(benchmark.users, bot_indices, months).tolist(),
+                "human_series": _series_for(benchmark.users, human_indices, months).tolist(),
+            }
+        )
+        for index in bot_indices:
+            series = benchmark.users[index].monthly_tweet_counts(months=months)
+            if series.mean() > 0:
+                cv_bot.append(series.std() / series.mean())
+        for index in human_indices:
+            series = benchmark.users[index].monthly_tweet_counts(months=months)
+            if series.mean() > 0:
+                cv_human.append(series.std() / series.mean())
+    return {
+        "communities": communities,
+        "bot_mean_cv": float(np.mean(cv_bot)) if cv_bot else float("nan"),
+        "human_mean_cv": float(np.mean(cv_human)) if cv_human else float("nan"),
+    }
+
+
+def format_result(result: Dict[str, object]) -> str:
+    lines = []
+    for entry in result["communities"]:
+        lines.append(f"community {entry['community']}:")
+        lines.append("  bots:   " + " ".join(f"{v:5.0f}" for v in entry["bot_series"]))
+        lines.append("  humans: " + " ".join(f"{v:5.0f}" for v in entry["human_series"]))
+    lines.append(
+        f"per-user activity coefficient of variation: bots {result['bot_mean_cv']:.2f}, "
+        f"humans {result['human_mean_cv']:.2f}"
+    )
+    return "\n".join(lines)

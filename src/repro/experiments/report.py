@@ -1,0 +1,73 @@
+"""Render saved benchmark results back into the paper's tables and figures.
+
+The benchmark suite stores every experiment's raw result as JSON under
+``benchmarks/results/``.  This module reloads those files and prints them
+with the same ``format_result`` helpers the experiments use, so the whole
+evaluation can be inspected (or EXPERIMENTS.md refreshed) without re-running
+anything:
+
+.. code-block:: bash
+
+    python -m repro report benchmarks/results
+    python -m repro report benchmarks/results --experiment table2
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Optional
+
+from repro.experiments import EXPERIMENTS
+
+
+def load_results(results_dir: Path) -> Dict[str, object]:
+    """Load every ``<experiment>.json`` file found in ``results_dir``."""
+    results_dir = Path(results_dir)
+    if not results_dir.is_dir():
+        raise FileNotFoundError(f"results directory not found: {results_dir}")
+    results: Dict[str, object] = {}
+    for path in sorted(results_dir.glob("*.json")):
+        name = path.stem
+        if name not in EXPERIMENTS:
+            continue
+        with open(path) as handle:
+            results[name] = json.load(handle)
+    return results
+
+
+def _normalise_keys(experiment: str, result):
+    """JSON round-trips turn integer dict keys into strings; undo that for
+    the experiments whose formatters expect numeric keys."""
+    if experiment == "fig10":
+        return {
+            benchmark: {int(k): metrics for k, metrics in per_k.items()}
+            for benchmark, per_k in result.items()
+        }
+    if experiment == "fig7":
+        return {
+            model: {float(fraction): metrics for fraction, metrics in per_fraction.items()}
+            for model, per_fraction in result.items()
+        }
+    return result
+
+
+def format_report(
+    results: Dict[str, object], experiments: Optional[Iterable[str]] = None
+) -> str:
+    """Render the selected experiments (default: all that have results)."""
+    selected = list(experiments) if experiments is not None else sorted(results)
+    sections = []
+    for name in selected:
+        if name not in results:
+            sections.append(f"== {name} ==\n(no saved result)")
+            continue
+        module = EXPERIMENTS[name]
+        body = module.format_result(_normalise_keys(name, results[name]))
+        sections.append(f"== {name} ==\n{body}")
+    return "\n\n".join(sections)
+
+
+def render_results_dir(results_dir: Path, experiments: Optional[Iterable[str]] = None) -> str:
+    """Convenience wrapper: load a directory and format it in one call."""
+    return format_report(load_results(results_dir), experiments)

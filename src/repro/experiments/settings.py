@@ -1,0 +1,46 @@
+"""Experiment scale presets.
+
+The paper's evaluation runs on graphs with up to a million nodes and a GPU;
+the reproduction runs the same experiment *logic* at laptop scale.  A scale
+preset fixes the synthetic benchmark sizes and the training budget so every
+experiment module shares consistent settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Sizes and budgets for one experiment run."""
+
+    name: str
+    benchmark_users: Dict[str, int] = field(
+        default_factory=lambda: {"twibot-20": 500, "twibot-22": 800, "mgtab": 400}
+    )
+    tweets_per_user: int = 12
+    max_epochs: int = 40
+    patience: int = 8
+    pretrain_epochs: int = 60
+    hidden_dim: int = 32
+    subgraph_k: int = 8
+    batch_size: int = 64
+    seeds: int = 1
+
+    def users_for(self, benchmark: str) -> int:
+        return self.benchmark_users[benchmark]
+
+
+SMALL = ExperimentScale(name="small")
+
+MEDIUM = ExperimentScale(
+    name="medium",
+    benchmark_users={"twibot-20": 1200, "twibot-22": 2000, "mgtab": 1000},
+    tweets_per_user=24,
+    max_epochs=80,
+    patience=10,
+    pretrain_epochs=60,
+    seeds=3,
+)

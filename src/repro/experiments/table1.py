@@ -1,0 +1,48 @@
+"""Table I — statistics of the three benchmarks.
+
+Paper values (full scale): TwiBot-20 has 229,580 users / 227,979 edges /
+2 relations; TwiBot-22 has 1,000,000 users / 3,743,634 edges / 2 relations;
+MGTAB has 10,199 users / 1,700,108 edges / 7 relations.  The synthetic
+benchmarks reproduce the *relative* structure (class balance, relation
+counts, edge density per user) at laptop scale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.runner import build_benchmark, format_table
+from repro.experiments.settings import SMALL, ExperimentScale
+
+PAPER_STATISTICS = {
+    "twibot-20": {"users": 229_580, "human": 5_237, "bot": 6_589, "edges": 227_979, "relations": 2},
+    "twibot-22": {"users": 1_000_000, "human": 860_057, "bot": 139_943, "edges": 3_743_634, "relations": 2},
+    "mgtab": {"users": 10_199, "human": 7_451, "bot": 2_748, "edges": 1_700_108, "relations": 7},
+}
+
+
+def run(scale: ExperimentScale = SMALL, seed: int = 0) -> Dict[str, Dict[str, object]]:
+    """Collect Table I statistics for the three synthetic benchmarks."""
+    results: Dict[str, Dict[str, object]] = {}
+    for name in ("twibot-20", "twibot-22", "mgtab"):
+        benchmark = build_benchmark(name, scale=scale, seed=seed)
+        stats = benchmark.statistics()
+        stats["paper"] = PAPER_STATISTICS[name]
+        results[name] = stats
+    return results
+
+
+def format_result(result: Dict[str, Dict[str, object]]) -> str:
+    rows: List[Dict[str, object]] = []
+    for name, stats in result.items():
+        rows.append(
+            {
+                "benchmark": name,
+                "# users": stats["num_users"],
+                "# human": stats["num_human"],
+                "# bot": stats["num_bot"],
+                "# edges": stats["num_edges"],
+                "# relations": stats["num_relations"],
+            }
+        )
+    return format_table(rows, ["benchmark", "# users", "# human", "# bot", "# edges", "# relations"])

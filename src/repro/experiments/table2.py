@@ -1,0 +1,63 @@
+"""Table II — accuracy and F1 of every competitor on the three benchmarks.
+
+Shape expected from the paper: BSG4Bot is best on all three benchmarks on
+both metrics; a plain MLP beats GCN; the heterophily-aware GNNs (H2GCN,
+GPR-GNN) beat the homophily-assuming GNNs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.experiments.runner import (
+    TABLE2_DETECTORS,
+    averaged_runs,
+    format_table,
+)
+from repro.experiments.settings import SMALL, ExperimentScale
+
+#: Accuracy / F1 the paper reports (Table II), for EXPERIMENTS.md comparison.
+PAPER_TABLE2 = {
+    "bsg4bot": {"twibot-20": (89.15, 89.89), "twibot-22": (79.93, 59.42), "mgtab": (92.25, 88.92)},
+    "botmoe": {"twibot-20": (87.84, 89.32), "twibot-22": (79.16, 56.87), "mgtab": (None, None)},
+    "rgt": {"twibot-20": (86.67, 88.22), "twibot-22": (76.44, 43.02), "mgtab": (89.76, 86.59)},
+    "botrgcn": {"twibot-20": (85.86, 87.33), "twibot-22": (78.56, 57.52), "mgtab": (89.69, 86.02)},
+    "mlp": {"twibot-20": (83.89, 81.71), "twibot-22": (79.01, 53.81), "mgtab": (84.88, 84.67)},
+    "gcn": {"twibot-20": (77.52, 80.85), "twibot-22": (78.41, 54.91), "mgtab": (83.65, 84.02)},
+}
+
+
+def run(
+    benchmarks: Iterable[str] = ("twibot-20", "twibot-22", "mgtab"),
+    detectors: Optional[Iterable[str]] = None,
+    scale: ExperimentScale = SMALL,
+    seeds: Optional[Iterable[int]] = None,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Run every detector on every benchmark; return metrics per (detector, benchmark)."""
+    detector_names = list(detectors) if detectors is not None else list(TABLE2_DETECTORS)
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for detector_name in detector_names:
+        results[detector_name] = {}
+        for benchmark_name in benchmarks:
+            results[detector_name][benchmark_name] = averaged_runs(
+                detector_name, benchmark_name, scale=scale, seeds=seeds
+            )
+    return results
+
+
+def format_result(result: Dict[str, Dict[str, Dict[str, float]]]) -> str:
+    benchmarks: List[str] = sorted({b for per_model in result.values() for b in per_model})
+    rows = []
+    for detector_name, per_benchmark in result.items():
+        row: Dict[str, object] = {"model": detector_name}
+        for benchmark in benchmarks:
+            metrics = per_benchmark.get(benchmark)
+            if metrics is None:
+                row[f"{benchmark} acc"] = "-"
+                row[f"{benchmark} f1"] = "-"
+            else:
+                row[f"{benchmark} acc"] = f"{metrics['accuracy_mean']:.2f}({metrics['accuracy_std']:.1f})"
+                row[f"{benchmark} f1"] = f"{metrics['f1_mean']:.2f}({metrics['f1_std']:.1f})"
+        rows.append(row)
+    columns = ["model"] + [f"{b} {m}" for b in benchmarks for m in ("acc", "f1")]
+    return format_table(rows, columns)

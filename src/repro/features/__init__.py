@@ -1,0 +1,30 @@
+"""Feature pipeline implementing the node feature initialisation of Eq. 3.
+
+``x_i = [x_des ; x_tweet ; x_num ; x_cat ; x_ctg ; x_tmp]`` where the first
+four blocks follow BotRGCN (description embedding, tweet embedding, numeric
+metadata, categorical metadata) and the last two are the features the paper
+adds after the data observation of Section II-B: tweet content categories
+and temporal activity.
+"""
+
+from repro.features.metadata import (
+    categorical_metadata_features,
+    numerical_metadata_features,
+    zscore,
+)
+from repro.features.textual import description_features, tweet_features
+from repro.features.categories import content_category_features
+from repro.features.temporal import temporal_activity_features
+from repro.features.pipeline import FeatureConfig, FeaturePipeline
+
+__all__ = [
+    "zscore",
+    "numerical_metadata_features",
+    "categorical_metadata_features",
+    "description_features",
+    "tweet_features",
+    "content_category_features",
+    "temporal_activity_features",
+    "FeatureConfig",
+    "FeaturePipeline",
+]

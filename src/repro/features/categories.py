@@ -1,0 +1,73 @@
+"""Tweet content-category feature (Section II-B and Eq. 3, the x_ctg block).
+
+For each user the most recent tweets are embedded, all tweet embeddings are
+clustered into ``n_categories`` clusters with K-Means, and the user feature
+is the z-scored number of distinct categories the user posted in,
+concatenated with the per-category percentage of their tweets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.users import UserRecord
+from repro.features.metadata import zscore
+from repro.text import KMeans, PseudoTextEncoder
+
+
+def cluster_tweets(
+    users: Sequence[UserRecord],
+    encoder: PseudoTextEncoder,
+    n_categories: int = 20,
+    max_tweets: int = 200,
+    seed: int = 0,
+) -> Tuple[List[np.ndarray], KMeans]:
+    """Cluster all tweets; return per-user cluster assignments and the model."""
+    texts: List[str] = []
+    owners: List[int] = []
+    for index, user in enumerate(users):
+        for tweet in user.tweets[:max_tweets]:
+            texts.append(tweet.text)
+            owners.append(index)
+    if not texts:
+        return [np.empty(0, dtype=np.int64) for _ in users], KMeans(n_clusters=n_categories, seed=seed)
+    embeddings = encoder.encode_batch(texts)
+    n_clusters = min(n_categories, embeddings.shape[0])
+    kmeans = KMeans(n_clusters=n_clusters, seed=seed)
+    assignments = kmeans.fit_predict(embeddings)
+    owners_arr = np.asarray(owners)
+    per_user = [assignments[owners_arr == index] for index in range(len(users))]
+    return per_user, kmeans
+
+
+def category_counts(per_user_assignments: Sequence[np.ndarray], n_categories: int) -> np.ndarray:
+    """Number of distinct content categories used by each user."""
+    return np.asarray(
+        [float(np.unique(assignment).size) for assignment in per_user_assignments]
+    )
+
+
+def content_category_features(
+    users: Sequence[UserRecord],
+    encoder: PseudoTextEncoder,
+    n_categories: int = 20,
+    max_tweets: int = 200,
+    seed: int = 0,
+) -> np.ndarray:
+    """The x_ctg block: z-scored category count + per-category percentages."""
+    per_user, kmeans = cluster_tweets(
+        users, encoder, n_categories=n_categories, max_tweets=max_tweets, seed=seed
+    )
+    effective_categories = kmeans.n_clusters
+    counts = category_counts(per_user, effective_categories)
+    counts_z = zscore(counts[:, None])
+
+    percentages = np.zeros((len(users), n_categories))
+    for index, assignment in enumerate(per_user):
+        if assignment.size == 0:
+            continue
+        values, value_counts = np.unique(assignment, return_counts=True)
+        percentages[index, values] = value_counts / assignment.size
+    return np.concatenate([counts_z, percentages], axis=1)

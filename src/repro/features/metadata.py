@@ -1,0 +1,56 @@
+"""Metadata feature encoders (numerical and categorical), as in BotRGCN."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.datasets.users import UserRecord
+
+NUMERICAL_FIELDS = (
+    "followers_count",
+    "friends_count",
+    "listed_count",
+    "statuses_count",
+    "favourites_count",
+    "account_age_days",
+)
+
+CATEGORICAL_FIELDS = (
+    "verified",
+    "default_profile_image",
+    "has_url",
+    "has_location",
+)
+
+
+def zscore(matrix: np.ndarray, axis: int = 0, eps: float = 1e-9) -> np.ndarray:
+    """Column-wise z-score normalisation."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    mean = matrix.mean(axis=axis, keepdims=True)
+    std = matrix.std(axis=axis, keepdims=True)
+    return (matrix - mean) / (std + eps)
+
+
+def numerical_metadata_features(users: Sequence[UserRecord]) -> np.ndarray:
+    """Log-scaled, z-scored numeric metadata (followers, friends, ...)."""
+    rows: List[List[float]] = []
+    for user in users:
+        row = [float(getattr(user, field)) for field in NUMERICAL_FIELDS]
+        rows.append(row)
+    matrix = np.asarray(rows, dtype=np.float64)
+    # Heavy-tailed counters are log-compressed before normalisation.
+    matrix = np.log1p(np.clip(matrix, 0.0, None))
+    return zscore(matrix)
+
+
+def categorical_metadata_features(users: Sequence[UserRecord]) -> np.ndarray:
+    """Binary categorical properties plus a screen-name digit indicator."""
+    rows: List[List[float]] = []
+    for user in users:
+        row = [float(bool(getattr(user, field))) for field in CATEGORICAL_FIELDS]
+        row.append(float(any(ch.isdigit() for ch in user.screen_name)))
+        row.append(float(len(user.screen_name)) / 20.0)
+        rows.append(row)
+    return np.asarray(rows, dtype=np.float64)

@@ -1,0 +1,93 @@
+"""End-to-end feature assembly (Eq. 3) with per-block slices for ablations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.users import UserRecord
+from repro.features.categories import content_category_features
+from repro.features.metadata import (
+    categorical_metadata_features,
+    numerical_metadata_features,
+)
+from repro.features.temporal import temporal_activity_features
+from repro.features.textual import description_features, tweet_features
+from repro.text import PseudoTextEncoder
+
+
+@dataclass
+class FeatureConfig:
+    """Which feature blocks to compute and their dimensions.
+
+    ``include_category_feature`` and ``include_temporal_feature`` are the
+    ablation switches of Table V ("w/o tweet category feature", "w/o tweet
+    temporal feature").
+    """
+
+    text_dim: int = 32
+    n_categories: int = 20
+    temporal_months: int = 12
+    max_tweets: int = 200
+    include_description: bool = True
+    include_tweet: bool = True
+    include_numerical: bool = True
+    include_categorical: bool = True
+    include_category_feature: bool = True
+    include_temporal_feature: bool = True
+    seed: int = 0
+
+
+class FeaturePipeline:
+    """Assemble the node feature matrix from raw user records."""
+
+    def __init__(self, config: FeatureConfig | None = None) -> None:
+        self.config = config or FeatureConfig()
+        self.encoder = PseudoTextEncoder(dim=self.config.text_dim, seed=self.config.seed)
+        self.block_slices: Dict[str, slice] = {}
+
+    def transform(self, users: Sequence[UserRecord]) -> np.ndarray:
+        """Return the ``(n_users, feature_dim)`` matrix of Eq. 3."""
+        config = self.config
+        blocks: List[Tuple[str, np.ndarray]] = []
+        if config.include_description:
+            blocks.append(("description", description_features(users, self.encoder)))
+        if config.include_tweet:
+            blocks.append(("tweet", tweet_features(users, self.encoder, max_tweets=config.max_tweets)))
+        if config.include_numerical:
+            blocks.append(("numerical", numerical_metadata_features(users)))
+        if config.include_categorical:
+            blocks.append(("categorical", categorical_metadata_features(users)))
+        if config.include_category_feature:
+            blocks.append(
+                (
+                    "category",
+                    content_category_features(
+                        users,
+                        self.encoder,
+                        n_categories=config.n_categories,
+                        max_tweets=config.max_tweets,
+                        seed=config.seed,
+                    ),
+                )
+            )
+        if config.include_temporal_feature:
+            blocks.append(
+                ("temporal", temporal_activity_features(users, months=config.temporal_months))
+            )
+        if not blocks:
+            raise ValueError("at least one feature block must be enabled")
+
+        self.block_slices = {}
+        offset = 0
+        for name, block in blocks:
+            width = block.shape[1]
+            self.block_slices[name] = slice(offset, offset + width)
+            offset += width
+        return np.concatenate([block for _, block in blocks], axis=1)
+
+    @property
+    def feature_names(self) -> List[str]:
+        return list(self.block_slices.keys())

@@ -1,0 +1,36 @@
+"""Temporal activity feature (Section II-B and Eq. 3, the x_tmp block).
+
+The paper records the number of tweets posted per month over the past 12
+months, fills missing months with zeros, converts counts to per-month
+percentages and passes them through a fully connected layer.  Here we produce
+the percentage vector plus two summary statistics (activity regularity and
+burstiness) that the downstream linear projection can exploit.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.datasets.users import UserRecord
+
+
+def temporal_activity_features(
+    users: Sequence[UserRecord],
+    months: int = 12,
+) -> np.ndarray:
+    """Per-month tweet percentage over the last ``months`` months + stats."""
+    rows = []
+    for user in users:
+        counts = user.monthly_tweet_counts(months=months)
+        total = counts.sum()
+        percentages = counts / total if total > 0 else np.zeros_like(counts)
+        mean = counts.mean()
+        std = counts.std()
+        regularity = std / (mean + 1e-9)  # coefficient of variation
+        active_months = float(np.count_nonzero(counts)) / months
+        rows.append(np.concatenate([percentages, [regularity, active_months]]))
+    if not rows:
+        return np.zeros((0, months + 2))
+    return np.stack(rows)

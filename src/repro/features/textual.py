@@ -1,0 +1,33 @@
+"""Description and tweet-content embeddings (the x_des and x_tweet blocks)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.datasets.users import UserRecord
+from repro.text import PseudoTextEncoder
+
+
+def description_features(
+    users: Sequence[UserRecord],
+    encoder: PseudoTextEncoder,
+) -> np.ndarray:
+    """Embed each user's profile description."""
+    return encoder.encode_batch([user.description for user in users])
+
+
+def tweet_features(
+    users: Sequence[UserRecord],
+    encoder: PseudoTextEncoder,
+    max_tweets: int | None = None,
+) -> np.ndarray:
+    """Average embedding of each user's (most recent) tweets."""
+    rows = []
+    for user in users:
+        tweets = user.tweets if max_tweets is None else user.tweets[:max_tweets]
+        rows.append(encoder.encode_user(tweet.text for tweet in tweets))
+    if not rows:
+        return np.zeros((0, encoder.dim))
+    return np.stack(rows)

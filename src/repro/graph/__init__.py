@@ -1,0 +1,31 @@
+"""Heterogeneous social-graph substrate.
+
+Provides the multi-relation graph container used everywhere in the
+reproduction, adjacency normalisation helpers for GNN layers, homophily
+metrics (Eq. 1 and 2 of the paper), and subgraph extraction utilities.
+"""
+
+from repro.graph.hetero import HeteroGraph, RelationStore
+from repro.graph.homophily import (
+    graph_homophily_ratio,
+    homophily_buckets,
+    node_homophily_ratios,
+)
+from repro.graph.adjacency import (
+    add_self_loops,
+    normalized_adjacency,
+    row_normalized_adjacency,
+    to_symmetric,
+)
+
+__all__ = [
+    "HeteroGraph",
+    "RelationStore",
+    "node_homophily_ratios",
+    "graph_homophily_ratio",
+    "homophily_buckets",
+    "normalized_adjacency",
+    "row_normalized_adjacency",
+    "add_self_loops",
+    "to_symmetric",
+]

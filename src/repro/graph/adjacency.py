@@ -1,0 +1,47 @@
+"""Adjacency normalisation helpers shared by all GNN layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def to_symmetric(adjacency: sp.spmatrix) -> sp.csr_matrix:
+    """Make an adjacency symmetric (edges become undirected, binarised)."""
+    matrix = (adjacency + adjacency.T).tocsr()
+    matrix.data[:] = 1.0
+    return matrix
+
+
+def add_self_loops(adjacency: sp.spmatrix) -> sp.csr_matrix:
+    """Add the identity so every node aggregates its own features."""
+    num_nodes = adjacency.shape[0]
+    matrix = (adjacency + sp.eye(num_nodes, format="csr")).tocsr()
+    matrix.data[:] = np.minimum(matrix.data, 1.0)
+    return matrix
+
+
+def normalized_adjacency(adjacency: sp.spmatrix, self_loops: bool = True) -> sp.csr_matrix:
+    """Symmetric GCN normalisation ``D^{-1/2} (A + I) D^{-1/2}``."""
+    matrix = adjacency.tocsr()
+    if self_loops:
+        matrix = add_self_loops(matrix)
+    degrees = np.asarray(matrix.sum(axis=1)).ravel()
+    inv_sqrt = np.zeros_like(degrees)
+    nonzero = degrees > 0
+    inv_sqrt[nonzero] = 1.0 / np.sqrt(degrees[nonzero])
+    scale = sp.diags(inv_sqrt)
+    return (scale @ matrix @ scale).tocsr()
+
+
+def row_normalized_adjacency(adjacency: sp.spmatrix, self_loops: bool = True) -> sp.csr_matrix:
+    """Row-stochastic normalisation ``D^{-1} (A + I)`` (mean aggregation)."""
+    matrix = adjacency.tocsr()
+    if self_loops:
+        matrix = add_self_loops(matrix)
+    degrees = np.asarray(matrix.sum(axis=1)).ravel()
+    inv = np.zeros_like(degrees)
+    nonzero = degrees > 0
+    inv[nonzero] = 1.0 / degrees[nonzero]
+    scale = sp.diags(inv)
+    return (scale @ matrix).tocsr()

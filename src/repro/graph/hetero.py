@@ -1,0 +1,220 @@
+"""Heterogeneous multi-relation graph container.
+
+The paper models the social network as ``G = {V, X, E, R}``: a set of users
+with feature vectors and several edge relations ("following", "follower",
+"mention", ...).  :class:`HeteroGraph` stores one sparse adjacency structure
+per relation plus node features, labels and the train/validation/test masks
+that the benchmarks define.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+
+@dataclass
+class RelationStore:
+    """Edge list and CSR adjacency for one relation."""
+
+    name: str
+    src: np.ndarray
+    dst: np.ndarray
+    num_nodes: int
+    _csr: Optional[sp.csr_matrix] = field(default=None, repr=False)
+    _csr_t: Optional[sp.csr_matrix] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.src = np.asarray(self.src, dtype=np.int64)
+        self.dst = np.asarray(self.dst, dtype=np.int64)
+        if self.src.shape != self.dst.shape:
+            raise ValueError("src and dst must have the same length")
+        if self.src.size and (self.src.max() >= self.num_nodes or self.dst.max() >= self.num_nodes):
+            raise ValueError("edge endpoint out of range")
+        if self.src.size and (self.src.min() < 0 or self.dst.min() < 0):
+            raise ValueError("edge endpoints must be non-negative")
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.src.size)
+
+    def adjacency(self) -> sp.csr_matrix:
+        """CSR adjacency with A[i, j] = 1 for an edge i -> j (deduplicated)."""
+        if self._csr is None:
+            data = np.ones(self.src.size, dtype=np.float64)
+            matrix = sp.coo_matrix(
+                (data, (self.src, self.dst)), shape=(self.num_nodes, self.num_nodes)
+            ).tocsr()
+            matrix.data[:] = 1.0
+            self._csr = matrix
+        return self._csr
+
+    def adjacency_t(self) -> sp.csr_matrix:
+        if self._csr_t is None:
+            self._csr_t = self.adjacency().T.tocsr()
+        return self._csr_t
+
+    def out_neighbors(self, node: int) -> np.ndarray:
+        matrix = self.adjacency()
+        return matrix.indices[matrix.indptr[node] : matrix.indptr[node + 1]]
+
+    def in_neighbors(self, node: int) -> np.ndarray:
+        matrix = self.adjacency_t()
+        return matrix.indices[matrix.indptr[node] : matrix.indptr[node + 1]]
+
+    def degrees(self, direction: str = "out") -> np.ndarray:
+        if direction == "out":
+            return np.asarray(self.adjacency().sum(axis=1)).ravel()
+        if direction == "in":
+            return np.asarray(self.adjacency().sum(axis=0)).ravel()
+        raise ValueError("direction must be 'out' or 'in'")
+
+
+class HeteroGraph:
+    """Multi-relation graph with node features, labels and split masks."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        features: np.ndarray,
+        labels: np.ndarray,
+        relations: Dict[str, Tuple[np.ndarray, np.ndarray]],
+        train_mask: Optional[np.ndarray] = None,
+        val_mask: Optional[np.ndarray] = None,
+        test_mask: Optional[np.ndarray] = None,
+        name: str = "heterograph",
+        metadata: Optional[dict] = None,
+    ) -> None:
+        self.num_nodes = int(num_nodes)
+        self.features = np.asarray(features, dtype=np.float64)
+        self.labels = np.asarray(labels, dtype=np.int64)
+        if self.features.shape[0] != self.num_nodes:
+            raise ValueError("feature matrix row count does not match num_nodes")
+        if self.labels.shape[0] != self.num_nodes:
+            raise ValueError("label vector length does not match num_nodes")
+        self.relations: Dict[str, RelationStore] = {}
+        for rel_name, (src, dst) in relations.items():
+            self.relations[rel_name] = RelationStore(rel_name, src, dst, self.num_nodes)
+        self.train_mask = self._validate_mask(train_mask)
+        self.val_mask = self._validate_mask(val_mask)
+        self.test_mask = self._validate_mask(test_mask)
+        self.name = name
+        self.metadata = dict(metadata or {})
+
+    # ------------------------------------------------------------------
+    def _validate_mask(self, mask: Optional[np.ndarray]) -> np.ndarray:
+        if mask is None:
+            return np.zeros(self.num_nodes, dtype=bool)
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape[0] != self.num_nodes:
+            raise ValueError("mask length does not match num_nodes")
+        return mask
+
+    # ------------------------------------------------------------------
+    @property
+    def num_features(self) -> int:
+        return self.features.shape[1]
+
+    @property
+    def relation_names(self) -> List[str]:
+        return list(self.relations.keys())
+
+    @property
+    def num_relations(self) -> int:
+        return len(self.relations)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(rel.num_edges for rel in self.relations.values())
+
+    def relation(self, name: str) -> RelationStore:
+        return self.relations[name]
+
+    def train_indices(self) -> np.ndarray:
+        return np.flatnonzero(self.train_mask)
+
+    def val_indices(self) -> np.ndarray:
+        return np.flatnonzero(self.val_mask)
+
+    def test_indices(self) -> np.ndarray:
+        return np.flatnonzero(self.test_mask)
+
+    # ------------------------------------------------------------------
+    def merged_adjacency(self, symmetric: bool = True) -> sp.csr_matrix:
+        """Union of all relations as a single (optionally symmetric) adjacency."""
+        total: Optional[sp.csr_matrix] = None
+        for rel in self.relations.values():
+            matrix = rel.adjacency()
+            total = matrix if total is None else total + matrix
+        if total is None:
+            total = sp.csr_matrix((self.num_nodes, self.num_nodes))
+        if symmetric:
+            total = total + total.T
+        total.data[:] = 1.0
+        return total.tocsr()
+
+    def class_counts(self) -> Dict[int, int]:
+        values, counts = np.unique(self.labels, return_counts=True)
+        return {int(v): int(c) for v, c in zip(values, counts)}
+
+    def statistics(self) -> dict:
+        """Summary matching the columns of Table I in the paper."""
+        counts = self.class_counts()
+        return {
+            "name": self.name,
+            "num_users": self.num_nodes,
+            "num_human": counts.get(0, 0),
+            "num_bot": counts.get(1, 0),
+            "num_edges": self.num_edges,
+            "num_relations": self.num_relations,
+        }
+
+    # ------------------------------------------------------------------
+    def node_subgraph(self, nodes: Sequence[int], relation_names: Optional[Iterable[str]] = None) -> "HeteroGraph":
+        """Induced subgraph on ``nodes`` keeping edges within the node set."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        remap = -np.ones(self.num_nodes, dtype=np.int64)
+        remap[nodes] = np.arange(nodes.size)
+        relation_names = list(relation_names) if relation_names is not None else self.relation_names
+        relations: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        for rel_name in relation_names:
+            rel = self.relations[rel_name]
+            keep = (remap[rel.src] >= 0) & (remap[rel.dst] >= 0)
+            relations[rel_name] = (remap[rel.src[keep]], remap[rel.dst[keep]])
+        return HeteroGraph(
+            num_nodes=nodes.size,
+            features=self.features[nodes],
+            labels=self.labels[nodes],
+            relations=relations,
+            train_mask=self.train_mask[nodes],
+            val_mask=self.val_mask[nodes],
+            test_mask=self.test_mask[nodes],
+            name=f"{self.name}-sub",
+            metadata={"parent_nodes": nodes},
+        )
+
+    def with_features(self, features: np.ndarray) -> "HeteroGraph":
+        """Copy of the graph with a replaced feature matrix."""
+        relations = {
+            name: (rel.src.copy(), rel.dst.copy()) for name, rel in self.relations.items()
+        }
+        return HeteroGraph(
+            num_nodes=self.num_nodes,
+            features=features,
+            labels=self.labels.copy(),
+            relations=relations,
+            train_mask=self.train_mask.copy(),
+            val_mask=self.val_mask.copy(),
+            test_mask=self.test_mask.copy(),
+            name=self.name,
+            metadata=dict(self.metadata),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"HeteroGraph(name={self.name!r}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges}, relations={self.relation_names})"
+        )

@@ -1,0 +1,92 @@
+"""Homophily metrics from Section II-C of the paper.
+
+Equation 1 defines the node homophily ratio ``h_i`` as the fraction of a
+node's neighbours that share its label; Equation 2 averages it over the graph.
+These metrics drive both the data observation (Figure 4) and the evaluation
+of the biased subgraph construction (Figure 8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def node_homophily_ratios(
+    adjacency: sp.spmatrix,
+    labels: np.ndarray,
+    undirected: bool = True,
+) -> np.ndarray:
+    """Per-node homophily ratio ``h_i`` (Eq. 1).
+
+    Nodes with no neighbours get ``nan`` so callers can exclude them from
+    averages, matching the convention of treating isolated nodes as undefined.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    matrix = adjacency.tocsr()
+    if undirected:
+        matrix = (matrix + matrix.T).tocsr()
+        matrix.data[:] = 1.0
+    matrix = matrix - sp.diags(matrix.diagonal())
+    matrix.eliminate_zeros()
+    num_nodes = matrix.shape[0]
+    ratios = np.full(num_nodes, np.nan, dtype=np.float64)
+    indptr, indices = matrix.indptr, matrix.indices
+    for node in range(num_nodes):
+        neighbors = indices[indptr[node] : indptr[node + 1]]
+        if neighbors.size == 0:
+            continue
+        ratios[node] = float(np.mean(labels[neighbors] == labels[node]))
+    return ratios
+
+
+def graph_homophily_ratio(adjacency: sp.spmatrix, labels: np.ndarray) -> float:
+    """Graph-level homophily ratio ``h`` (Eq. 2): mean of defined node ratios."""
+    ratios = node_homophily_ratios(adjacency, labels)
+    valid = ratios[~np.isnan(ratios)]
+    if valid.size == 0:
+        return float("nan")
+    return float(valid.mean())
+
+
+def homophily_buckets(
+    ratios: np.ndarray,
+    edges: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+) -> Dict[str, np.ndarray]:
+    """Group node indices into homophily intervals, as in Figure 4.
+
+    The first bucket is ``(edges[0], edges[1]]`` except that nodes with ratio
+    exactly ``edges[0]`` are included (so the zero-homophily nodes are not
+    dropped).  Returns a mapping from interval label to node-index array.
+    """
+    ratios = np.asarray(ratios, dtype=np.float64)
+    buckets: Dict[str, np.ndarray] = {}
+    for low, high in zip(edges[:-1], edges[1:]):
+        label = f"({low},{high}]"
+        if low == edges[0]:
+            mask = (ratios >= low) & (ratios <= high)
+        else:
+            mask = (ratios > low) & (ratios <= high)
+        mask &= ~np.isnan(ratios)
+        buckets[label] = np.flatnonzero(mask)
+    return buckets
+
+
+def subgraph_homophily_summary(
+    ratios: np.ndarray, labels: np.ndarray
+) -> Dict[str, float]:
+    """Average homophily for all users / bots / humans (Figure 8 captions)."""
+    labels = np.asarray(labels, dtype=np.int64)
+    valid = ~np.isnan(ratios)
+
+    def mean_for(mask: np.ndarray) -> float:
+        selected = ratios[mask & valid]
+        return float(selected.mean()) if selected.size else float("nan")
+
+    return {
+        "all": mean_for(np.ones_like(valid)),
+        "bot": mean_for(labels == 1),
+        "human": mean_for(labels == 0),
+    }

@@ -1,0 +1,24 @@
+"""Neural network layers built on the autograd substrate.
+
+These are the building blocks shared by BSG4Bot and every baseline model:
+dense layers, graph convolutions (GCN / GAT / GraphSAGE / RGCN), and the
+semantic attention layer that fuses per-relation representations (Eq. 12-14).
+"""
+
+from repro.nn.dense import Dropout, Linear, MLPBlock
+from repro.nn.gcn import GCNConv
+from repro.nn.gat import GATConv
+from repro.nn.sage import SAGEConv
+from repro.nn.rgcn import RGCNConv
+from repro.nn.attention import SemanticAttention
+
+__all__ = [
+    "Linear",
+    "Dropout",
+    "MLPBlock",
+    "GCNConv",
+    "GATConv",
+    "SAGEConv",
+    "RGCNConv",
+    "SemanticAttention",
+]

@@ -1,0 +1,44 @@
+"""Semantic attention over per-relation representations (Eq. 12-14)."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.nn.dense import Linear
+from repro.tensor import Module, Parameter, Tensor, glorot_uniform, softmax, stack, tanh
+
+
+class SemanticAttention(Module):
+    """Fuse per-relation node embeddings with learned relation weights.
+
+    For each relation ``r`` the importance is the mean over nodes of
+    ``q . tanh(W h_i(r) + b)`` (Eq. 12); relation weights are the softmax of
+    the importances (Eq. 13) and the final embedding is their weighted sum
+    (Eq. 14).  The projection parameters are shared across relations.
+    """
+
+    def __init__(self, in_features: int, attention_dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.project = Linear(in_features, attention_dim, rng)
+        self.query = Parameter.from_tensor(glorot_uniform(rng, attention_dim, 1))
+
+    def relation_weights(self, relation_embeddings: List[Tensor]) -> Tensor:
+        """Softmax-normalised weight per relation, shape ``(R, 1)``."""
+        importances = []
+        for embedding in relation_embeddings:
+            scores = tanh(self.project(embedding)) @ self.query  # (n, 1)
+            importances.append(scores.mean(axis=0))  # (1,)
+        stacked = stack(importances, axis=0)  # (R, 1)
+        return softmax(stacked, axis=0)
+
+    def forward(self, relation_embeddings: List[Tensor]) -> Tuple[Tensor, Tensor]:
+        """Return the fused embedding and the relation weights used."""
+        weights = self.relation_weights(relation_embeddings)
+        fused = None
+        for index, embedding in enumerate(relation_embeddings):
+            weight = weights[index]  # (1,)
+            term = embedding * weight
+            fused = term if fused is None else fused + term
+        return fused, weights

@@ -1,0 +1,75 @@
+"""Dense layers: linear projection, dropout and a small MLP block."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.tensor import Module, Parameter, Tensor, glorot_uniform, leaky_relu
+from repro.tensor.tensor import dropout as dropout_op
+
+
+class Linear(Module):
+    """Affine projection ``x W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter.from_tensor(glorot_uniform(rng, in_features, out_features))
+        self.bias: Optional[Parameter] = (
+            Parameter(np.zeros(out_features)) if bias else None
+        )
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        out = inputs @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Dropout(Module):
+    """Inverted dropout driven by the module's training flag."""
+
+    def __init__(self, rate: float, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.rate = rate
+        self.rng = rng
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return dropout_op(inputs, self.rate, self.rng, training=self.training)
+
+
+class MLPBlock(Module):
+    """Two-layer perceptron with leaky-ReLU, the paper's default MLP shape."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        dropout: float = 0.0,
+        negative_slope: float = 0.01,
+    ) -> None:
+        super().__init__()
+        self.fc1 = Linear(in_features, hidden_features, rng)
+        self.fc2 = Linear(hidden_features, out_features, rng)
+        self.dropout = Dropout(dropout, rng)
+        self.negative_slope = negative_slope
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        hidden = leaky_relu(self.fc1(inputs), self.negative_slope)
+        hidden = self.dropout(hidden)
+        return self.fc2(hidden)
+
+    def hidden(self, inputs: Tensor) -> Tensor:
+        """Hidden representation used by the pre-trained classifier (Eq. 5)."""
+        return leaky_relu(self.fc1(inputs), self.negative_slope)

@@ -1,0 +1,27 @@
+"""Graph convolution layer (Kipf & Welling) over a precomputed adjacency."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.nn.dense import Linear
+from repro.tensor import Module, Tensor, spmm
+
+
+class GCNConv(Module):
+    """One GCN layer: ``A_hat X W + b`` with a symmetric-normalised ``A_hat``.
+
+    The adjacency is passed at call time (already normalised by the caller via
+    :func:`repro.graph.normalized_adjacency`), so the same layer instance can
+    be reused across many subgraphs, which is exactly how BSG4Bot trains on
+    batches of biased subgraphs.
+    """
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator, bias: bool = True) -> None:
+        super().__init__()
+        self.linear = Linear(in_features, out_features, rng, bias=bias)
+
+    def forward(self, features: Tensor, adjacency: sp.spmatrix) -> Tensor:
+        projected = self.linear(features)
+        return spmm(adjacency, projected)

@@ -1,0 +1,46 @@
+"""Relational graph convolution (Schlichtkrull et al.) over multiple relations."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.nn.dense import Linear
+from repro.tensor import Module, Tensor, spmm
+
+
+class RGCNConv(Module):
+    """One RGCN layer: per-relation weights plus a self-loop transform.
+
+    ``h_i' = W_0 h_i + sum_r A_hat_r (X W_r)`` where each ``A_hat_r`` is the
+    normalised adjacency of relation ``r``.  This is the aggregation used by
+    BotRGCN and by BSG4Bot's heterogeneous encoder when relations are fused
+    with fixed (uniform) weights rather than semantic attention.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        relation_names: Sequence[str],
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.relation_names = list(relation_names)
+        self.self_loop = Linear(in_features, out_features, rng)
+        self.relation_linears = {
+            name: Linear(in_features, out_features, rng, bias=False)
+            for name in self.relation_names
+        }
+
+    def forward(self, features: Tensor, adjacencies: Dict[str, sp.spmatrix]) -> Tensor:
+        out = self.self_loop(features)
+        for name in self.relation_names:
+            adjacency = adjacencies.get(name)
+            if adjacency is None:
+                continue
+            projected = self.relation_linears[name](features)
+            out = out + spmm(adjacency, projected)
+        return out

@@ -1,0 +1,29 @@
+"""GraphSAGE convolution with mean aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.adjacency import row_normalized_adjacency
+from repro.nn.dense import Linear
+from repro.tensor import Module, Tensor, concat, spmm
+
+
+class SAGEConv(Module):
+    """GraphSAGE layer: concatenate self features with mean of neighbours.
+
+    ``h_i' = W [h_i ; mean_{j in N(i)} h_j] + b``.  The neighbourhood mean is
+    computed with a row-normalised adjacency, matching the "mean" aggregator
+    of the original paper.
+    """
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.linear = Linear(2 * in_features, out_features, rng)
+
+    def forward(self, features: Tensor, adjacency: sp.spmatrix) -> Tensor:
+        mean_adj = row_normalized_adjacency(adjacency, self_loops=False)
+        neighbor_mean = spmm(mean_adj, features)
+        combined = concat([features, neighbor_mean], axis=1)
+        return self.linear(combined)

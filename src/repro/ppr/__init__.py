@@ -1,0 +1,13 @@
+"""Personalized PageRank: exact power iteration and approximate forward push.
+
+The biased subgraph construction (Algorithm 1) uses per-node PPR scores as
+the structural-importance half of the combined score.  The approximate push
+method mirrors the technique of Bojchevski et al. (PPRGo) cited by the paper:
+residual mass is pushed from the start node to its neighbours until all
+residuals fall below a threshold, touching only a local neighbourhood.
+"""
+
+from repro.ppr.push import approximate_ppr, topk_ppr_neighbors
+from repro.ppr.power import power_iteration_ppr
+
+__all__ = ["approximate_ppr", "topk_ppr_neighbors", "power_iteration_ppr"]

@@ -1,0 +1,22 @@
+"""Subgraph construction strategies.
+
+Contains the paper's biased heterogeneous subgraph builder (Algorithm 1), the
+PPR-only variant used in the ablation, uniform neighbour sampling
+(GraphSAGE-style), and a greedy clustering partitioner (ClusterGCN-style).
+"""
+
+from repro.sampling.subgraph import Subgraph, SubgraphBatch, SubgraphStore, collate_subgraphs
+from repro.sampling.biased import BiasedSubgraphBuilder, PPRSubgraphBuilder
+from repro.sampling.neighbor import sample_neighbor_adjacency
+from repro.sampling.clustering import greedy_partition
+
+__all__ = [
+    "Subgraph",
+    "SubgraphBatch",
+    "SubgraphStore",
+    "collate_subgraphs",
+    "BiasedSubgraphBuilder",
+    "PPRSubgraphBuilder",
+    "sample_neighbor_adjacency",
+    "greedy_partition",
+]

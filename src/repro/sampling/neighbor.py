@@ -1,0 +1,41 @@
+"""Uniform neighbour sampling (the GraphSAGE baseline's strategy)."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def sample_neighbor_adjacency(
+    adjacency: sp.spmatrix,
+    fanout: int,
+    rng: np.random.Generator,
+) -> sp.csr_matrix:
+    """Keep at most ``fanout`` uniformly sampled neighbours per node.
+
+    Returns a new adjacency with the same shape; nodes with fewer than
+    ``fanout`` neighbours keep all of them.
+    """
+    if fanout <= 0:
+        raise ValueError("fanout must be positive")
+    matrix = adjacency.tocsr()
+    indptr, indices = matrix.indptr, matrix.indices
+    num_nodes = matrix.shape[0]
+    src_list = []
+    dst_list = []
+    for node in range(num_nodes):
+        neighbors = indices[indptr[node] : indptr[node + 1]]
+        if neighbors.size == 0:
+            continue
+        if neighbors.size > fanout:
+            neighbors = rng.choice(neighbors, size=fanout, replace=False)
+        src_list.append(np.full(neighbors.size, node, dtype=np.int64))
+        dst_list.append(neighbors.astype(np.int64))
+    if not src_list:
+        return sp.csr_matrix((num_nodes, num_nodes))
+    src = np.concatenate(src_list)
+    dst = np.concatenate(dst_list)
+    data = np.ones(src.size)
+    sampled = sp.coo_matrix((data, (src, dst)), shape=(num_nodes, num_nodes)).tocsr()
+    sampled.data[:] = 1.0
+    return sampled

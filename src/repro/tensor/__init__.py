@@ -1,0 +1,60 @@
+"""Minimal reverse-mode automatic differentiation engine on NumPy.
+
+This package stands in for PyTorch in the reproduction: it provides a
+:class:`Tensor` with a dynamic computation graph, the differentiable
+operations required by the paper's models (dense and sparse matrix products,
+activations, softmax/attention primitives, gather/scatter for message
+passing), weight initialisers, and first-order optimisers.
+"""
+
+from repro.tensor.tensor import (
+    Tensor,
+    concat,
+    gather_rows,
+    leaky_relu,
+    log_softmax,
+    matmul,
+    maximum,
+    relu,
+    scatter_add,
+    sigmoid,
+    softmax,
+    spmm,
+    stack,
+    tanh,
+    tensor,
+    zeros,
+)
+from repro.tensor.init import glorot_uniform, he_uniform, zeros_init
+from repro.tensor.losses import binary_cross_entropy, cross_entropy, l2_penalty
+from repro.tensor.module import Module, Parameter
+from repro.tensor.optim import SGD, Adam
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "zeros",
+    "concat",
+    "stack",
+    "matmul",
+    "spmm",
+    "gather_rows",
+    "scatter_add",
+    "relu",
+    "leaky_relu",
+    "tanh",
+    "sigmoid",
+    "maximum",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "binary_cross_entropy",
+    "l2_penalty",
+    "glorot_uniform",
+    "he_uniform",
+    "zeros_init",
+    "Module",
+    "Parameter",
+    "SGD",
+    "Adam",
+]

@@ -1,0 +1,32 @@
+"""Weight initialisation helpers.
+
+The reproduction follows the common practice of Glorot (Xavier) uniform
+initialisation for linear and graph-convolution weights and zeros for biases.
+All initialisers take an explicit ``numpy.random.Generator`` so that every
+experiment is reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+def glorot_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> Tensor:
+    """Glorot/Xavier uniform initialisation for a ``(fan_in, fan_out)`` matrix."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    data = rng.uniform(-limit, limit, size=(fan_in, fan_out))
+    return Tensor(data, requires_grad=True)
+
+
+def he_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> Tensor:
+    """He/Kaiming uniform initialisation, suited to ReLU-family activations."""
+    limit = np.sqrt(6.0 / fan_in)
+    data = rng.uniform(-limit, limit, size=(fan_in, fan_out))
+    return Tensor(data, requires_grad=True)
+
+
+def zeros_init(*shape: int) -> Tensor:
+    """All-zeros parameter (typically biases)."""
+    return Tensor(np.zeros(shape), requires_grad=True)

@@ -1,0 +1,47 @@
+"""Loss functions used across the reproduction."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor, log_softmax, _ensure_tensor
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray, weight: Optional[np.ndarray] = None) -> Tensor:
+    """Mean cross-entropy of integer ``labels`` under row-wise ``logits``.
+
+    ``weight`` optionally re-weights each class (useful for the imbalanced
+    TwiBot-22-style benchmarks where bots are the minority class).
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    log_probs = log_softmax(logits, axis=-1)
+    rows = np.arange(labels.shape[0])
+    picked = log_probs[rows, labels]
+    if weight is not None:
+        weight = np.asarray(weight, dtype=np.float64)
+        sample_weight = weight[labels]
+        total = float(sample_weight.sum())
+        return -(picked * Tensor(sample_weight)).sum() * (1.0 / max(total, 1e-12))
+    return -picked.mean()
+
+
+def binary_cross_entropy(probabilities: Tensor, labels: np.ndarray) -> Tensor:
+    """Binary cross entropy on probabilities in (0, 1), as in Eq. 16."""
+    labels = np.asarray(labels, dtype=np.float64)
+    probs = _ensure_tensor(probabilities).clip(1e-12, 1.0 - 1e-12)
+    target = Tensor(labels)
+    loss = -(target * probs.log() + (1.0 - target) * (1.0 - probs).log())
+    return loss.mean()
+
+
+def l2_penalty(parameters: Iterable[Tensor], coefficient: float) -> Tensor:
+    """Sum of squared parameter norms scaled by ``coefficient`` (Eq. 16)."""
+    total: Optional[Tensor] = None
+    for param in parameters:
+        term = (param * param).sum()
+        total = term if total is None else total + term
+    if total is None:
+        return Tensor(0.0)
+    return total * coefficient

@@ -1,0 +1,134 @@
+"""Module/parameter containers, a light analogue of ``torch.nn.Module``."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.tensor.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as a learnable parameter."""
+
+    def __init__(self, data, name: str | None = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+    @classmethod
+    def from_tensor(cls, source: Tensor, name: str | None = None) -> "Parameter":
+        return cls(source.data, name=name)
+
+
+class Module:
+    """Base class for layers and models.
+
+    Sub-modules and parameters assigned as attributes are discovered
+    automatically, so ``parameters()`` walks the whole model tree.  A
+    ``training`` flag is propagated by :meth:`train` / :meth:`eval` and is
+    consulted by stochastic layers such as dropout.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # -- parameter discovery -------------------------------------------------
+    def parameters(self) -> List[Parameter]:
+        found: List[Parameter] = []
+        seen: set[int] = set()
+        self._collect_parameters(found, seen)
+        return found
+
+    def _collect_parameters(self, found: List[Parameter], seen: set) -> None:
+        for value in self.__dict__.values():
+            self._collect_from_value(value, found, seen)
+
+    def _collect_from_value(self, value, found: List[Parameter], seen: set) -> None:
+        if isinstance(value, Parameter):
+            if id(value) not in seen:
+                seen.add(id(value))
+                found.append(value)
+        elif isinstance(value, Module):
+            value._collect_parameters(found, seen)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                self._collect_from_value(item, found, seen)
+        elif isinstance(value, dict):
+            for item in value.values():
+                self._collect_from_value(item, found, seen)
+
+    def named_parameters(self) -> Dict[str, Parameter]:
+        """Best-effort flat mapping of attribute paths to parameters."""
+        named: Dict[str, Parameter] = {}
+        self._collect_named(named, prefix="")
+        return named
+
+    def _collect_named(self, named: Dict[str, Parameter], prefix: str) -> None:
+        for key, value in self.__dict__.items():
+            self._collect_named_value(value, named, f"{prefix}{key}")
+
+    @staticmethod
+    def _collect_named_value(value, named: Dict[str, Parameter], path: str) -> None:
+        if isinstance(value, Parameter):
+            named[path] = value
+        elif isinstance(value, Module):
+            value._collect_named(named, prefix=f"{path}.")
+        elif isinstance(value, (list, tuple)):
+            for i, item in enumerate(value):
+                Module._collect_named_value(item, named, f"{path}.{i}")
+        elif isinstance(value, dict):
+            for sub_key, item in value.items():
+                Module._collect_named_value(item, named, f"{path}.{sub_key}")
+
+    # -- training mode -------------------------------------------------------
+    def train(self) -> "Module":
+        self._set_mode(True)
+        return self
+
+    def eval(self) -> "Module":
+        self._set_mode(False)
+        return self
+
+    def _set_mode(self, training: bool) -> None:
+        self.training = training
+        for value in self.__dict__.values():
+            self._set_mode_on_value(value, training)
+
+    def _set_mode_on_value(self, value, training: bool) -> None:
+        if isinstance(value, Module):
+            value._set_mode(training)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                self._set_mode_on_value(item, training)
+        elif isinstance(value, dict):
+            for item in value.values():
+                self._set_mode_on_value(item, training)
+
+    # -- gradient helpers ----------------------------------------------------
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # -- state dict ----------------------------------------------------------
+    def state_dict(self) -> Dict[str, "np.ndarray"]:
+        return {name: param.data.copy() for name, param in self.named_parameters().items()}
+
+    def load_state_dict(self, state: Dict[str, "np.ndarray"]) -> None:
+        named = self.named_parameters()
+        for name, value in state.items():
+            if name not in named:
+                raise KeyError(f"unknown parameter {name!r}")
+            if named[name].data.shape != value.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: "
+                    f"{named[name].data.shape} vs {value.shape}"
+                )
+            named[name].data = value.copy()
+
+    # -- call protocol ---------------------------------------------------------
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError

@@ -1,0 +1,552 @@
+"""Reverse-mode autodiff tensor built on top of ``numpy.ndarray``.
+
+The design mirrors the classic define-by-run approach: every operation
+returns a new :class:`Tensor` that remembers its parents and a closure that
+propagates the output gradient back to them.  Calling :meth:`Tensor.backward`
+performs a topological sort of the recorded graph and runs those closures in
+reverse order.
+
+Only the operations needed by the reproduction are implemented, but each is
+implemented with full broadcasting support so the layer code reads naturally.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+_DEFAULT_DTYPE = np.float64
+
+
+def _as_array(value: ArrayLike) -> np.ndarray:
+    if isinstance(value, np.ndarray):
+        if value.dtype != _DEFAULT_DTYPE:
+            return value.astype(_DEFAULT_DTYPE)
+        return value
+    return np.asarray(value, dtype=_DEFAULT_DTYPE)
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` to undo NumPy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions that were added by broadcasting.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were broadcast from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy array with an attached gradient and computation history."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _parents: Iterable["Tensor"] = (),
+        name: Optional[str] = None,
+    ) -> None:
+        self.data = _as_array(data)
+        self.requires_grad = bool(requires_grad)
+        self.grad: Optional[np.ndarray] = None
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: tuple = tuple(_parents)
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0])
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Autograd machinery
+    # ------------------------------------------------------------------
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Back-propagate from this tensor through the recorded graph."""
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without a gradient requires a scalar")
+            grad = np.ones_like(self.data)
+        grad = _as_array(grad)
+
+        order: list[Tensor] = []
+        visited: set[int] = set()
+
+        def visit(node: "Tensor") -> None:
+            stack = [(node, False)]
+            while stack:
+                current, processed = stack.pop()
+                if processed:
+                    order.append(current)
+                    continue
+                if id(current) in visited:
+                    continue
+                visited.add(id(current))
+                stack.append((current, True))
+                for parent in current._parents:
+                    if id(parent) not in visited:
+                        stack.append((parent, False))
+
+        visit(self)
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad:
+                node._accumulate(node_grad)
+            if node._backward is None:
+                continue
+            for parent, parent_grad in node._backward(node_grad):
+                if parent_grad is None:
+                    continue
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + parent_grad
+                else:
+                    grads[key] = parent_grad
+
+    # ------------------------------------------------------------------
+    # Arithmetic operators
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other_t = _ensure_tensor(other)
+        out = Tensor(
+            self.data + other_t.data,
+            requires_grad=self.requires_grad or other_t.requires_grad,
+            _parents=(self, other_t),
+        )
+
+        def backward(grad: np.ndarray):
+            return (
+                (self, _unbroadcast(grad, self.shape)),
+                (other_t, _unbroadcast(grad, other_t.shape)),
+            )
+
+        out._backward = backward
+        return out
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        out = Tensor(-self.data, requires_grad=self.requires_grad, _parents=(self,))
+        out._backward = lambda grad: ((self, -grad),)
+        return out
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self + (-_ensure_tensor(other))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return _ensure_tensor(other) + (-self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other_t = _ensure_tensor(other)
+        out = Tensor(
+            self.data * other_t.data,
+            requires_grad=self.requires_grad or other_t.requires_grad,
+            _parents=(self, other_t),
+        )
+
+        def backward(grad: np.ndarray):
+            return (
+                (self, _unbroadcast(grad * other_t.data, self.shape)),
+                (other_t, _unbroadcast(grad * self.data, other_t.shape)),
+            )
+
+        out._backward = backward
+        return out
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other_t = _ensure_tensor(other)
+        out = Tensor(
+            self.data / other_t.data,
+            requires_grad=self.requires_grad or other_t.requires_grad,
+            _parents=(self, other_t),
+        )
+
+        def backward(grad: np.ndarray):
+            grad_self = _unbroadcast(grad / other_t.data, self.shape)
+            grad_other = _unbroadcast(
+                -grad * self.data / (other_t.data**2), other_t.shape
+            )
+            return ((self, grad_self), (other_t, grad_other))
+
+        out._backward = backward
+        return out
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return _ensure_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        out = Tensor(
+            self.data**exponent, requires_grad=self.requires_grad, _parents=(self,)
+        )
+
+        def backward(grad: np.ndarray):
+            return ((self, grad * exponent * self.data ** (exponent - 1)),)
+
+        out._backward = backward
+        return out
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        return matmul(self, other)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.shape
+        out = Tensor(
+            self.data.reshape(shape), requires_grad=self.requires_grad, _parents=(self,)
+        )
+        out._backward = lambda grad: ((self, grad.reshape(original)),)
+        return out
+
+    def transpose(self) -> "Tensor":
+        out = Tensor(self.data.T, requires_grad=self.requires_grad, _parents=(self,))
+        out._backward = lambda grad: ((self, grad.T),)
+        return out
+
+    @property
+    def T(self) -> "Tensor":  # noqa: N802 - mirror numpy naming
+        return self.transpose()
+
+    def __getitem__(self, index) -> "Tensor":
+        out = Tensor(self.data[index], requires_grad=self.requires_grad, _parents=(self,))
+
+        def backward(grad: np.ndarray):
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            return ((self, full),)
+
+        out._backward = backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        out = Tensor(out_data, requires_grad=self.requires_grad, _parents=(self,))
+
+        def backward(grad: np.ndarray):
+            grad_arr = np.asarray(grad)
+            if axis is not None and not keepdims:
+                grad_arr = np.expand_dims(grad_arr, axis)
+            return ((self, np.broadcast_to(grad_arr, self.shape).copy()),)
+
+        out._backward = backward
+        return out
+
+    def mean(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            count = self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        out = Tensor(out_data, requires_grad=self.requires_grad, _parents=(self,))
+
+        def backward(grad: np.ndarray):
+            grad_arr = np.asarray(grad)
+            expanded = out_data
+            if axis is not None and not keepdims:
+                grad_arr = np.expand_dims(grad_arr, axis)
+                expanded = np.expand_dims(out_data, axis)
+            mask = (self.data == expanded).astype(self.data.dtype)
+            mask /= np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
+            return ((self, mask * grad_arr),)
+
+        out._backward = backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Elementwise functions (method aliases)
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+        out = Tensor(out_data, requires_grad=self.requires_grad, _parents=(self,))
+        out._backward = lambda grad: ((self, grad * out_data),)
+        return out
+
+    def log(self) -> "Tensor":
+        out = Tensor(np.log(self.data), requires_grad=self.requires_grad, _parents=(self,))
+        out._backward = lambda grad: ((self, grad / self.data),)
+        return out
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        out_data = np.clip(self.data, low, high)
+        out = Tensor(out_data, requires_grad=self.requires_grad, _parents=(self,))
+
+        def backward(grad: np.ndarray):
+            mask = ((self.data >= low) & (self.data <= high)).astype(self.data.dtype)
+            return ((self, grad * mask),)
+
+        out._backward = backward
+        return out
+
+
+def _ensure_tensor(value: Union[Tensor, ArrayLike]) -> Tensor:
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+# ----------------------------------------------------------------------
+# Factory helpers
+# ----------------------------------------------------------------------
+def tensor(data: ArrayLike, requires_grad: bool = False) -> Tensor:
+    """Create a tensor from array-like data."""
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def zeros(*shape: int, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+
+# ----------------------------------------------------------------------
+# Core operations
+# ----------------------------------------------------------------------
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    """Dense matrix product with gradients for both operands."""
+    a_t, b_t = _ensure_tensor(a), _ensure_tensor(b)
+    out = Tensor(
+        a_t.data @ b_t.data,
+        requires_grad=a_t.requires_grad or b_t.requires_grad,
+        _parents=(a_t, b_t),
+    )
+
+    def backward(grad: np.ndarray):
+        grad_a = grad @ b_t.data.T if a_t.data.ndim > 1 else grad @ b_t.data.T
+        grad_b = a_t.data.T @ grad
+        return ((a_t, _unbroadcast(grad_a, a_t.shape)), (b_t, _unbroadcast(grad_b, b_t.shape)))
+
+    out._backward = backward
+    return out
+
+
+def spmm(sparse_matrix: sp.spmatrix, dense: Tensor) -> Tensor:
+    """Sparse @ dense product; the sparse operand is a constant.
+
+    Used for GNN aggregation with (normalized) adjacency matrices.  Gradients
+    flow only to the dense operand: ``d(A @ X)/dX`` applied to an upstream
+    gradient ``G`` is ``A.T @ G``.
+    """
+    dense_t = _ensure_tensor(dense)
+    matrix = sparse_matrix.tocsr()
+    out = Tensor(
+        matrix @ dense_t.data,
+        requires_grad=dense_t.requires_grad,
+        _parents=(dense_t,),
+    )
+    out._backward = lambda grad: ((dense_t, matrix.T @ grad),)
+    return out
+
+
+def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing."""
+    items = [_ensure_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in items], axis=axis)
+    out = Tensor(
+        data,
+        requires_grad=any(t.requires_grad for t in items),
+        _parents=tuple(items),
+    )
+    sizes = [t.data.shape[axis] for t in items]
+    boundaries = np.cumsum(sizes)[:-1]
+
+    def backward(grad: np.ndarray):
+        pieces = np.split(grad, boundaries, axis=axis)
+        return tuple((item, piece) for item, piece in zip(items, pieces))
+
+    out._backward = backward
+    return out
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis."""
+    items = [_ensure_tensor(t) for t in tensors]
+    data = np.stack([t.data for t in items], axis=axis)
+    out = Tensor(
+        data,
+        requires_grad=any(t.requires_grad for t in items),
+        _parents=tuple(items),
+    )
+
+    def backward(grad: np.ndarray):
+        pieces = np.split(grad, len(items), axis=axis)
+        return tuple(
+            (item, np.squeeze(piece, axis=axis)) for item, piece in zip(items, pieces)
+        )
+
+    out._backward = backward
+    return out
+
+
+def gather_rows(source: Tensor, index: np.ndarray) -> Tensor:
+    """Select rows ``source[index]`` (used to fetch edge endpoints)."""
+    index = np.asarray(index, dtype=np.int64)
+    src = _ensure_tensor(source)
+    out = Tensor(src.data[index], requires_grad=src.requires_grad, _parents=(src,))
+
+    def backward(grad: np.ndarray):
+        full = np.zeros_like(src.data)
+        np.add.at(full, index, grad)
+        return ((src, full),)
+
+    out._backward = backward
+    return out
+
+
+def scatter_add(source: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
+    """Sum rows of ``source`` into ``num_segments`` buckets given by ``index``."""
+    index = np.asarray(index, dtype=np.int64)
+    src = _ensure_tensor(source)
+    out_shape = (num_segments,) + src.data.shape[1:]
+    data = np.zeros(out_shape, dtype=src.data.dtype)
+    np.add.at(data, index, src.data)
+    out = Tensor(data, requires_grad=src.requires_grad, _parents=(src,))
+    out._backward = lambda grad: ((src, grad[index]),)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Activations and normalisation
+# ----------------------------------------------------------------------
+def relu(x: Tensor) -> Tensor:
+    x_t = _ensure_tensor(x)
+    mask = (x_t.data > 0).astype(x_t.data.dtype)
+    out = Tensor(x_t.data * mask, requires_grad=x_t.requires_grad, _parents=(x_t,))
+    out._backward = lambda grad: ((x_t, grad * mask),)
+    return out
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    x_t = _ensure_tensor(x)
+    slope = np.where(x_t.data > 0, 1.0, negative_slope)
+    out = Tensor(x_t.data * slope, requires_grad=x_t.requires_grad, _parents=(x_t,))
+    out._backward = lambda grad: ((x_t, grad * slope),)
+    return out
+
+
+def tanh(x: Tensor) -> Tensor:
+    x_t = _ensure_tensor(x)
+    out_data = np.tanh(x_t.data)
+    out = Tensor(out_data, requires_grad=x_t.requires_grad, _parents=(x_t,))
+    out._backward = lambda grad: ((x_t, grad * (1.0 - out_data**2)),)
+    return out
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    x_t = _ensure_tensor(x)
+    out_data = 1.0 / (1.0 + np.exp(-x_t.data))
+    out = Tensor(out_data, requires_grad=x_t.requires_grad, _parents=(x_t,))
+    out._backward = lambda grad: ((x_t, grad * out_data * (1.0 - out_data)),)
+    return out
+
+
+def maximum(x: Tensor, value: float) -> Tensor:
+    """Elementwise maximum with a scalar constant."""
+    x_t = _ensure_tensor(x)
+    mask = (x_t.data >= value).astype(x_t.data.dtype)
+    out = Tensor(np.maximum(x_t.data, value), requires_grad=x_t.requires_grad, _parents=(x_t,))
+    out._backward = lambda grad: ((x_t, grad * mask),)
+    return out
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    x_t = _ensure_tensor(x)
+    shifted = x_t.data - x_t.data.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    out_data = exps / exps.sum(axis=axis, keepdims=True)
+    out = Tensor(out_data, requires_grad=x_t.requires_grad, _parents=(x_t,))
+
+    def backward(grad: np.ndarray):
+        dot = (grad * out_data).sum(axis=axis, keepdims=True)
+        return ((x_t, out_data * (grad - dot)),)
+
+    out._backward = backward
+    return out
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    x_t = _ensure_tensor(x)
+    shifted = x_t.data - x_t.data.max(axis=axis, keepdims=True)
+    log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_sum
+    out = Tensor(out_data, requires_grad=x_t.requires_grad, _parents=(x_t,))
+    probs = np.exp(out_data)
+
+    def backward(grad: np.ndarray):
+        total = grad.sum(axis=axis, keepdims=True)
+        return ((x_t, grad - probs * total),)
+
+    out._backward = backward
+    return out
+
+
+def dropout(x: Tensor, rate: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout; identity when ``training`` is false or rate is 0."""
+    if not training or rate <= 0.0:
+        return _ensure_tensor(x)
+    x_t = _ensure_tensor(x)
+    keep = 1.0 - rate
+    mask = (rng.random(x_t.shape) < keep).astype(x_t.data.dtype) / keep
+    out = Tensor(x_t.data * mask, requires_grad=x_t.requires_grad, _parents=(x_t,))
+    out._backward = lambda grad: ((x_t, grad * mask),)
+    return out

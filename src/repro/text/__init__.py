@@ -1,0 +1,15 @@
+"""Text substrate: a deterministic stand-in for RoBERTa plus K-Means.
+
+The paper uses a frozen RoBERTa model only as a feature extractor whose
+tweet embeddings are clustered into 20 content categories.  Offline, we
+replace it with :class:`PseudoTextEncoder`, a hashed bag-of-token embedding
+with an explicit topic subspace, which preserves the property the paper
+relies on: tweets about the same topic land close together and therefore in
+the same K-Means cluster.
+"""
+
+from repro.text.encoder import PseudoTextEncoder
+from repro.text.kmeans import KMeans
+from repro.text.tokenizer import simple_tokenize
+
+__all__ = ["PseudoTextEncoder", "KMeans", "simple_tokenize"]

@@ -1,0 +1,69 @@
+"""Deterministic text encoder standing in for RoBERTa.
+
+Each token is hashed into a fixed random direction; a document embedding is
+the L2-normalised mean of its token directions.  Synthetic tweets generated
+by :mod:`repro.datasets` carry a dominant topic keyword, so documents about
+the same topic share a large common component and cluster together — which is
+all the paper needs from RoBERTa (its embeddings are only ever clustered or
+averaged, never fine-tuned).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.text.tokenizer import simple_tokenize
+
+
+class PseudoTextEncoder:
+    """Hash-based sentence encoder with a stable output dimension."""
+
+    def __init__(self, dim: int = 64, seed: int = 0) -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+        self.seed = seed
+        self._cache: dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def _token_vector(self, token: str) -> np.ndarray:
+        cached = self._cache.get(token)
+        if cached is not None:
+            return cached
+        digest = hashlib.sha256(f"{self.seed}:{token}".encode("utf-8")).digest()
+        # Use the digest to seed a small generator for a dense direction.
+        sub_seed = int.from_bytes(digest[:8], "little")
+        rng = np.random.default_rng(sub_seed)
+        vector = rng.standard_normal(self.dim)
+        vector /= np.linalg.norm(vector) + 1e-12
+        self._cache[token] = vector
+        return vector
+
+    # ------------------------------------------------------------------
+    def encode(self, text: str) -> np.ndarray:
+        """Embed one document as the normalised mean of its token vectors."""
+        tokens = simple_tokenize(text)
+        if not tokens:
+            return np.zeros(self.dim)
+        vectors = np.stack([self._token_vector(token) for token in tokens])
+        mean = vectors.mean(axis=0)
+        norm = np.linalg.norm(mean)
+        if norm > 0:
+            mean = mean / norm
+        return mean
+
+    def encode_batch(self, texts: Sequence[str]) -> np.ndarray:
+        """Embed a list of documents into an ``(n, dim)`` matrix."""
+        if len(texts) == 0:
+            return np.zeros((0, self.dim))
+        return np.stack([self.encode(text) for text in texts])
+
+    def encode_user(self, texts: Iterable[str]) -> np.ndarray:
+        """Average embedding of a user's tweets (used for the tweet feature)."""
+        batch = self.encode_batch(list(texts))
+        if batch.shape[0] == 0:
+            return np.zeros(self.dim)
+        return batch.mean(axis=0)

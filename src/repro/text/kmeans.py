@@ -1,0 +1,96 @@
+"""Lloyd's K-Means with k-means++ initialisation.
+
+Used to cluster tweet embeddings into the 20 content categories of
+Section II-B and Eq. 3.  Implemented here so the reproduction has no
+scikit-learn dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class KMeans:
+    """K-Means clustering with deterministic seeding."""
+
+    def __init__(
+        self,
+        n_clusters: int,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+        seed: int = 0,
+    ) -> None:
+        if n_clusters <= 0:
+            raise ValueError("n_clusters must be positive")
+        self.n_clusters = n_clusters
+        self.max_iter = max_iter
+        self.tol = tol
+        self.seed = seed
+        self.centroids: Optional[np.ndarray] = None
+        self.inertia_: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def _init_centroids(self, points: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """k-means++ seeding: spread initial centroids apart."""
+        n_points = points.shape[0]
+        centroids = np.empty((self.n_clusters, points.shape[1]))
+        first = rng.integers(n_points)
+        centroids[0] = points[first]
+        closest_sq = np.sum((points - centroids[0]) ** 2, axis=1)
+        for index in range(1, self.n_clusters):
+            total = closest_sq.sum()
+            if total <= 0:
+                centroids[index] = points[rng.integers(n_points)]
+            else:
+                probabilities = closest_sq / total
+                choice = rng.choice(n_points, p=probabilities)
+                centroids[index] = points[choice]
+            distance = np.sum((points - centroids[index]) ** 2, axis=1)
+            closest_sq = np.minimum(closest_sq, distance)
+        return centroids
+
+    # ------------------------------------------------------------------
+    def fit(self, points: np.ndarray) -> "KMeans":
+        points = np.asarray(points, dtype=np.float64)
+        if points.shape[0] < self.n_clusters:
+            raise ValueError("fewer points than clusters")
+        rng = np.random.default_rng(self.seed)
+        centroids = self._init_centroids(points, rng)
+        assignment = np.zeros(points.shape[0], dtype=np.int64)
+        for _ in range(self.max_iter):
+            distances = self._pairwise_sq_distances(points, centroids)
+            new_assignment = distances.argmin(axis=1)
+            new_centroids = centroids.copy()
+            for cluster in range(self.n_clusters):
+                members = points[new_assignment == cluster]
+                if members.shape[0] > 0:
+                    new_centroids[cluster] = members.mean(axis=0)
+            shift = np.linalg.norm(new_centroids - centroids)
+            centroids = new_centroids
+            assignment = new_assignment
+            if shift < self.tol:
+                break
+        self.centroids = centroids
+        final_distances = self._pairwise_sq_distances(points, centroids)
+        self.inertia_ = float(final_distances[np.arange(points.shape[0]), assignment].sum())
+        return self
+
+    def predict(self, points: np.ndarray) -> np.ndarray:
+        if self.centroids is None:
+            raise RuntimeError("KMeans.predict called before fit")
+        points = np.asarray(points, dtype=np.float64)
+        distances = self._pairwise_sq_distances(points, self.centroids)
+        return distances.argmin(axis=1)
+
+    def fit_predict(self, points: np.ndarray) -> np.ndarray:
+        self.fit(points)
+        return self.predict(points)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _pairwise_sq_distances(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+        point_sq = np.sum(points**2, axis=1, keepdims=True)
+        centroid_sq = np.sum(centroids**2, axis=1)
+        return point_sq - 2.0 * points @ centroids.T + centroid_sq

@@ -1,0 +1,17 @@
+"""A minimal whitespace/punctuation tokenizer for the synthetic tweets."""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+_TOKEN_PATTERN = re.compile(r"[a-z0-9_@#']+")
+
+
+def simple_tokenize(text: str) -> List[str]:
+    """Lowercase and split text into word-like tokens.
+
+    Hashtags and mentions keep their sigils so that they hash to distinct
+    embedding dimensions from the bare word.
+    """
+    return _TOKEN_PATTERN.findall(text.lower())

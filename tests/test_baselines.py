@@ -1,0 +1,143 @@
+"""Tests for the twelve baseline detectors and the plugin wrapper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BiasedSubgraphPluginDetector,
+    available_detectors,
+    get_detector,
+)
+from repro.core import BSG4Bot, BSG4BotConfig
+from tests.conftest import make_separable_graph
+
+FAST_KWARGS = dict(hidden_dim=12, max_epochs=15, patience=4, seed=0)
+
+ALL_BASELINES = [
+    "roberta",
+    "mlp",
+    "gcn",
+    "gat",
+    "graphsage",
+    "clustergcn",
+    "slimg",
+    "botrgcn",
+    "rgt",
+    "botmoe",
+    "h2gcn",
+    "gprgnn",
+]
+
+
+@pytest.fixture(scope="module")
+def toy_graph():
+    return make_separable_graph(num_nodes=90, num_relations=2, homophily=0.85, seed=10)
+
+
+class TestRegistry:
+    def test_all_paper_baselines_available(self):
+        names = set(available_detectors())
+        assert set(ALL_BASELINES) <= names
+        assert "bsg4bot" in names
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            get_detector("random-forest")
+
+    def test_registry_instantiates_fresh_objects(self):
+        assert get_detector("gcn") is not get_detector("gcn")
+
+    def test_bsg4bot_built_through_registry(self):
+        detector = get_detector("bsg4bot")
+        assert isinstance(detector, BSG4Bot)
+
+
+class TestBaselineFitPredict:
+    @pytest.mark.parametrize("name", ALL_BASELINES)
+    def test_detector_learns_separable_graph(self, name, toy_graph):
+        detector = get_detector(name, **FAST_KWARGS)
+        history = detector.fit(toy_graph)
+        assert history.num_epochs >= 1
+        probabilities = detector.predict_proba(toy_graph)
+        assert probabilities.shape == (toy_graph.num_nodes, 2)
+        np.testing.assert_allclose(
+            probabilities.sum(axis=1), np.ones(toy_graph.num_nodes), atol=1e-6
+        )
+        metrics = detector.evaluate(toy_graph)
+        # The toy graph is very separable: every detector must beat chance.
+        assert metrics["accuracy"] > 60.0
+
+    @pytest.mark.parametrize("name", ["gcn", "botrgcn"])
+    def test_detectors_transfer_to_new_graph(self, name, toy_graph):
+        detector = get_detector(name, **FAST_KWARGS)
+        detector.fit(toy_graph)
+        unseen = make_separable_graph(num_nodes=50, num_relations=2, seed=11)
+        predictions = detector.predict(unseen)
+        assert predictions.shape == (50,)
+
+    def test_predict_before_fit_raises(self, toy_graph):
+        with pytest.raises(RuntimeError):
+            get_detector("gcn", **FAST_KWARGS).predict_proba(toy_graph)
+
+    def test_roberta_uses_fewer_features_than_mlp(self, tiny_mgtab):
+        roberta = get_detector("roberta", **FAST_KWARGS)
+        mlp = get_detector("mlp", **FAST_KWARGS)
+        graph = tiny_mgtab.graph
+        roberta_matrix = roberta._feature_matrix(graph)
+        mlp_matrix = mlp._feature_matrix(graph)
+        assert roberta_matrix.shape[1] < mlp_matrix.shape[1]
+
+    def test_history_contains_epoch_times(self, toy_graph):
+        detector = get_detector("gcn", **FAST_KWARGS)
+        history = detector.fit(toy_graph)
+        assert len(history.epoch_times) == history.num_epochs
+        assert history.total_time > 0
+
+
+class TestHeterophilyShape:
+    def test_mlp_competitive_with_gcn_on_heterophilic_graph(self, heterophilic_graph):
+        """The Section II-C observation: on heterophilic structure a feature
+        MLP does not fall behind a vanilla GCN by any meaningful margin
+        (on real benchmarks it actually wins; on this tiny toy graph we only
+        require it to stay within a few points)."""
+        mlp = get_detector("mlp", **FAST_KWARGS)
+        gcn = get_detector("gcn", **FAST_KWARGS)
+        mlp.fit(heterophilic_graph)
+        gcn.fit(heterophilic_graph)
+        mlp_acc = mlp.evaluate(heterophilic_graph)["accuracy"]
+        gcn_acc = gcn.evaluate(heterophilic_graph)["accuracy"]
+        assert mlp_acc >= gcn_acc - 10.0
+
+
+class TestPluginDetector:
+    def test_plugin_backbones_run(self, toy_graph):
+        config = BSG4BotConfig(
+            pretrain_epochs=15, hidden_dim=12, pretrain_hidden_dim=12,
+            subgraph_k=4, max_epochs=8, patience=3, batch_size=32,
+        )
+        for backbone in ("gcn", "gat", "botrgcn"):
+            detector = BiasedSubgraphPluginDetector(backbone=backbone, config=config)
+            detector.fit(toy_graph)
+            metrics = detector.evaluate(toy_graph)
+            assert metrics["accuracy"] > 60.0
+
+    def test_plugin_name_reflects_backbone(self):
+        assert "GCN" in BiasedSubgraphPluginDetector("gcn").name
+        assert "BotRGCN" in BiasedSubgraphPluginDetector("botrgcn").name
+
+    def test_plugin_unknown_backbone_rejected(self):
+        with pytest.raises(KeyError):
+            BiasedSubgraphPluginDetector("transformer")
+
+    def test_plugin_requires_training_graph_for_prediction(self, toy_graph):
+        config = BSG4BotConfig(
+            pretrain_epochs=5, hidden_dim=8, pretrain_hidden_dim=8,
+            subgraph_k=3, max_epochs=2, patience=2, batch_size=32,
+        )
+        detector = BiasedSubgraphPluginDetector("gcn", config=config)
+        detector.fit(toy_graph)
+        other = make_separable_graph(num_nodes=30, seed=12)
+        with pytest.raises(ValueError):
+            detector.predict_proba(other)

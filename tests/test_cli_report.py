@@ -1,0 +1,117 @@
+"""Tests for the command-line interface and the results-report renderer."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import fig2, fig10, table1
+from repro.experiments.report import format_report, load_results, render_results_dir
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_subcommand_validates_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table99"])
+
+    def test_run_subcommand_defaults(self):
+        args = build_parser().parse_args(["run", "table1"])
+        assert args.scale == "small"
+        assert args.seed == 0
+
+    def test_report_subcommand_collects_experiments(self):
+        args = build_parser().parse_args(
+            ["report", "some/dir", "--experiment", "fig2", "--experiment", "fig3"]
+        )
+        assert args.experiments == ["fig2", "fig3"]
+
+
+class TestCliCommands:
+    def test_benchmarks_command_prints_table(self, capsys, monkeypatch):
+        # Avoid building full-size benchmarks inside the CLI test.
+        from repro.experiments.settings import ExperimentScale
+        import repro.cli as cli
+
+        tiny = ExperimentScale(
+            name="cli-tiny",
+            benchmark_users={"twibot-20": 80, "twibot-22": 80, "mgtab": 80},
+            tweets_per_user=4,
+        )
+        monkeypatch.setattr(cli, "SMALL", tiny)
+        assert main(["benchmarks"]) == 0
+        output = capsys.readouterr().out
+        assert "mgtab" in output
+        assert "# users" in output
+
+    def test_run_command_runs_fig3(self, capsys, monkeypatch):
+        from repro.experiments.settings import ExperimentScale
+        import repro.cli as cli
+
+        tiny = ExperimentScale(
+            name="cli-tiny",
+            benchmark_users={"twibot-20": 80, "twibot-22": 100, "mgtab": 80},
+            tweets_per_user=4,
+        )
+        monkeypatch.setitem(cli._SCALES, "small", tiny)
+        assert main(["run", "fig3"]) == 0
+        output = capsys.readouterr().out
+        assert "coefficient of variation" in output
+
+    def test_report_command_missing_directory(self):
+        with pytest.raises(FileNotFoundError):
+            main(["report", "/nonexistent/results/dir"])
+
+
+class TestReport:
+    @pytest.fixture
+    def results_dir(self, tmp_path, tiny_scale) -> Path:
+        directory = tmp_path / "results"
+        directory.mkdir()
+        result = table1.run(scale=tiny_scale)
+        with open(directory / "table1.json", "w") as handle:
+            json.dump(result, handle, default=float)
+        # An unknown file should simply be ignored.
+        with open(directory / "notes.json", "w") as handle:
+            json.dump({"hello": 1}, handle)
+        return directory
+
+    def test_load_results_filters_unknown_files(self, results_dir):
+        results = load_results(results_dir)
+        assert set(results) == {"table1"}
+
+    def test_format_report_renders_known_and_missing(self, results_dir):
+        results = load_results(results_dir)
+        text = format_report(results, ["table1", "fig2"])
+        assert "== table1 ==" in text
+        assert "(no saved result)" in text
+
+    def test_render_results_dir_end_to_end(self, results_dir):
+        text = render_results_dir(results_dir)
+        assert "mgtab" in text
+
+    def test_fig10_keys_normalised_from_json(self, tmp_path):
+        # Simulate the JSON round-trip: integer k values become strings.
+        raw = {
+            "mgtab": {
+                "4": {"accuracy": 80.0, "f1": 70.0},
+                "8": {"accuracy": 82.0, "f1": 72.0},
+            }
+        }
+        directory = tmp_path / "results"
+        directory.mkdir()
+        with open(directory / "fig10.json", "w") as handle:
+            json.dump(raw, handle)
+        text = render_results_dir(directory)
+        assert "fig10" in text and "k" in text
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_results(tmp_path / "does-not-exist")

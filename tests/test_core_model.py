@@ -1,0 +1,163 @@
+"""Tests for the pre-trained classifier, BSG4Bot model and configuration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BSG4BotConfig, BSG4BotModel, PretrainedClassifier
+from repro.sampling import BiasedSubgraphBuilder, collate_subgraphs
+from tests.conftest import make_separable_graph
+
+
+@pytest.fixture(scope="module")
+def toy_graph():
+    return make_separable_graph(num_nodes=60, num_relations=2, seed=4)
+
+
+@pytest.fixture(scope="module")
+def toy_batch(toy_graph):
+    builder = BiasedSubgraphBuilder(toy_graph, toy_graph.features, k=4)
+    subgraphs = [builder.build(i) for i in range(6)]
+    return collate_subgraphs(subgraphs, toy_graph)
+
+
+class TestConfig:
+    def test_defaults_are_valid(self):
+        BSG4BotConfig().validate()
+
+    def test_with_overrides_returns_copy(self):
+        config = BSG4BotConfig()
+        changed = config.with_overrides(subgraph_k=32)
+        assert changed.subgraph_k == 32
+        assert config.subgraph_k == 16
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("subgraph_k", 0),
+            ("mix_lambda", 1.5),
+            ("num_layers", 0),
+            ("hidden_dim", 0),
+            ("dropout", 1.0),
+            ("batch_size", 0),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            BSG4BotConfig(**{field: value}).validate()
+
+
+class TestPretrainedClassifier:
+    def test_learns_separable_features(self, toy_graph):
+        classifier = PretrainedClassifier(toy_graph.num_features, hidden_dim=16, epochs=40)
+        history = classifier.fit_graph(toy_graph)
+        assert history.best_val_score > 0.8
+        predictions = classifier.predict(toy_graph.features)
+        train_idx = toy_graph.train_indices()
+        accuracy = np.mean(predictions[train_idx] == toy_graph.labels[train_idx])
+        assert accuracy > 0.85
+
+    def test_hidden_representations_shape(self, toy_graph):
+        classifier = PretrainedClassifier(toy_graph.num_features, hidden_dim=12, epochs=5)
+        classifier.fit_graph(toy_graph)
+        hidden = classifier.hidden_representations(toy_graph.features)
+        assert hidden.shape == (toy_graph.num_nodes, 12)
+
+    def test_predict_proba_rows_sum_to_one(self, toy_graph):
+        classifier = PretrainedClassifier(toy_graph.num_features, hidden_dim=8, epochs=5)
+        classifier.fit_graph(toy_graph)
+        probabilities = classifier.predict_proba(toy_graph.features)
+        np.testing.assert_allclose(probabilities.sum(axis=1), np.ones(toy_graph.num_nodes), atol=1e-9)
+
+    def test_similar_nodes_have_similar_hidden_vectors(self, toy_graph):
+        """Hidden-space cosine similarity (Eq. 6) separates the two classes."""
+        classifier = PretrainedClassifier(toy_graph.num_features, hidden_dim=16, epochs=40)
+        classifier.fit_graph(toy_graph)
+        hidden = classifier.hidden_representations(toy_graph.features)
+        normed = hidden / (np.linalg.norm(hidden, axis=1, keepdims=True) + 1e-12)
+        labels = toy_graph.labels
+        same = normed[labels == 1] @ normed[labels == 1].T
+        cross = normed[labels == 1] @ normed[labels == 0].T
+        assert same.mean() > cross.mean()
+
+
+class TestBSG4BotModel:
+    def test_forward_shapes(self, toy_graph, toy_batch):
+        model = BSG4BotModel(
+            in_features=toy_graph.num_features,
+            hidden_dim=8,
+            relation_names=toy_graph.relation_names,
+            num_layers=2,
+        )
+        logits = model(toy_batch)
+        assert logits.shape == (toy_batch.num_centers, 2)
+
+    def test_intermediate_concat_changes_dimension(self, toy_graph):
+        with_concat = BSG4BotModel(
+            toy_graph.num_features, 8, toy_graph.relation_names, num_layers=2,
+            use_intermediate_concat=True,
+        )
+        without_concat = BSG4BotModel(
+            toy_graph.num_features, 8, toy_graph.relation_names, num_layers=2,
+            use_intermediate_concat=False,
+        )
+        assert with_concat.final_dim == 8 * 3
+        assert without_concat.final_dim == 8
+
+    def test_relation_weights_sum_to_one(self, toy_graph, toy_batch):
+        model = BSG4BotModel(
+            toy_graph.num_features, 8, toy_graph.relation_names, num_layers=1
+        )
+        model.eval()
+        model(toy_batch)
+        weights = model.last_relation_weights
+        assert weights.shape == (len(toy_graph.relation_names),)
+        assert weights.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_mean_pooling_uses_uniform_weights(self, toy_graph, toy_batch):
+        model = BSG4BotModel(
+            toy_graph.num_features, 8, toy_graph.relation_names, num_layers=1,
+            use_semantic_attention=False,
+        )
+        model.eval()
+        model(toy_batch)
+        np.testing.assert_allclose(model.last_relation_weights, [0.5, 0.5])
+
+    def test_gradients_reach_all_parameter_groups(self, toy_graph, toy_batch):
+        from repro.tensor import cross_entropy
+
+        model = BSG4BotModel(
+            toy_graph.num_features, 8, toy_graph.relation_names, num_layers=2
+        )
+        logits = model(toy_batch)
+        loss = cross_entropy(logits, toy_batch.labels)
+        loss.backward()
+        named = model.named_parameters()
+        with_grad = [name for name, param in named.items() if param.grad is not None]
+        assert "input_transform.weight" in with_grad
+        assert any(name.startswith("relation_convs") for name in with_grad)
+        assert any(name.startswith("semantic_attention") for name in with_grad)
+        assert "classifier.weight" in with_grad
+
+    def test_invalid_layer_count(self, toy_graph):
+        with pytest.raises(ValueError):
+            BSG4BotModel(toy_graph.num_features, 8, toy_graph.relation_names, num_layers=0)
+
+    def test_eval_mode_is_deterministic(self, toy_graph, toy_batch):
+        model = BSG4BotModel(
+            toy_graph.num_features, 8, toy_graph.relation_names, num_layers=2, dropout=0.5
+        )
+        model.eval()
+        first = model(toy_batch).numpy()
+        second = model(toy_batch).numpy()
+        np.testing.assert_allclose(first, second)
+
+    def test_train_mode_dropout_is_stochastic(self, toy_graph, toy_batch):
+        model = BSG4BotModel(
+            toy_graph.num_features, 8, toy_graph.relation_names, num_layers=2, dropout=0.5
+        )
+        model.train()
+        first = model(toy_batch).numpy()
+        second = model(toy_batch).numpy()
+        assert not np.allclose(first, second)

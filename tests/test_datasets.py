@@ -1,0 +1,237 @@
+"""Tests for the synthetic user simulator, relation generator and benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    NetworkConfig,
+    UserSimulator,
+    available_benchmarks,
+    generate_relations,
+    load_benchmark,
+    split_masks,
+    subsample_train_mask,
+)
+from repro.datasets.users import ACTIVITY_MONTHS, BOT, HUMAN
+from repro.graph.homophily import node_homophily_ratios
+
+
+class TestUserSimulator:
+    def setup_method(self):
+        self.simulator = UserSimulator(seed=0, difficulty=0.2, tweets_per_user=12)
+
+    def test_draw_user_fields(self):
+        user = self.simulator.draw_user(0, BOT, community=2)
+        assert user.is_bot
+        assert user.community == 2
+        assert len(user.tweets) == 12
+        assert user.followers_count >= 0
+        assert isinstance(user.description, str) and user.description
+
+    def test_population_size_and_labels(self):
+        labels = [HUMAN] * 5 + [BOT] * 5
+        users = self.simulator.draw_population(labels)
+        assert len(users) == 10
+        assert [u.label for u in users] == labels
+        assert [u.user_id for u in users] == list(range(10))
+
+    def test_population_rejects_mismatched_communities(self):
+        with pytest.raises(ValueError):
+            self.simulator.draw_population([0, 1], communities=[0])
+
+    def test_monthly_counts_match_tweets(self):
+        user = self.simulator.draw_user(0, HUMAN)
+        counts = user.monthly_tweet_counts(ACTIVITY_MONTHS)
+        assert counts.sum() == len(user.tweets)
+
+    def test_bots_have_narrower_topic_sets(self):
+        simulator = UserSimulator(seed=1, difficulty=0.0, tweets_per_user=10)
+        bots = simulator.draw_population([BOT] * 40)
+        humans = simulator.draw_population([HUMAN] * 40)
+        bot_topics = np.mean([len(u.topics) for u in bots])
+        human_topics = np.mean([len(u.topics) for u in humans])
+        assert bot_topics < human_topics
+
+    def test_difficulty_increases_overlap(self):
+        # With difficulty 1 every bot mimics humans, so bot metadata matches
+        # the human distribution far more closely than at difficulty 0.
+        easy = UserSimulator(seed=2, difficulty=0.0, tweets_per_user=6)
+        hard = UserSimulator(seed=2, difficulty=1.0, tweets_per_user=6)
+        easy_bots = easy.draw_population([BOT] * 60)
+        hard_bots = hard.draw_population([BOT] * 60)
+        humans = easy.draw_population([HUMAN] * 60)
+        human_followers = np.mean([np.log1p(u.followers_count) for u in humans])
+        easy_gap = abs(np.mean([np.log1p(u.followers_count) for u in easy_bots]) - human_followers)
+        hard_gap = abs(np.mean([np.log1p(u.followers_count) for u in hard_bots]) - human_followers)
+        assert hard_gap < easy_gap
+
+    def test_invalid_difficulty_rejected(self):
+        with pytest.raises(ValueError):
+            UserSimulator(difficulty=1.5)
+
+    def test_deterministic_given_seed(self):
+        a = UserSimulator(seed=9, tweets_per_user=5).draw_user(0, BOT)
+        b = UserSimulator(seed=9, tweets_per_user=5).draw_user(0, BOT)
+        assert a.followers_count == b.followers_count
+        assert a.description == b.description
+        assert [t.text for t in a.tweets] == [t.text for t in b.tweets]
+
+
+class TestRelationGeneration:
+    def test_relation_names_and_ranges(self):
+        labels = np.array([HUMAN] * 30 + [BOT] * 10)
+        communities = np.zeros(40, dtype=int)
+        config = NetworkConfig.twitter_two_relations(seed=0)
+        relations = generate_relations(labels, communities, config)
+        assert set(relations) == {"following", "follower"}
+        for src, dst in relations.values():
+            assert src.shape == dst.shape
+            if src.size:
+                assert src.max() < 40 and dst.max() < 40
+                assert np.all(src != dst)
+
+    def test_mgtab_has_seven_relations(self):
+        labels = np.array([HUMAN] * 20 + [BOT] * 10)
+        relations = generate_relations(
+            labels, np.zeros(30, dtype=int), NetworkConfig.mgtab_seven_relations(seed=0)
+        )
+        assert len(relations) == 7
+
+    def test_humans_more_homophilic_than_bots(self):
+        rng = np.random.default_rng(0)
+        labels = (rng.random(300) < 0.3).astype(int)
+        communities = np.zeros(300, dtype=int)
+        config = NetworkConfig.twitter_two_relations(seed=1, bot_to_bot=0.1)
+        relations = generate_relations(labels, communities, config)
+        import scipy.sparse as sp
+
+        src, dst = relations["following"]
+        adjacency = sp.coo_matrix(
+            (np.ones(src.size), (src, dst)), shape=(300, 300)
+        ).tocsr()
+        ratios = node_homophily_ratios(adjacency, labels)
+        human_h = np.nanmean(ratios[labels == 0])
+        bot_h = np.nanmean(ratios[labels == 1])
+        assert human_h > bot_h
+
+    def test_deterministic_given_seed(self):
+        labels = np.array([0, 1] * 20)
+        communities = np.zeros(40, dtype=int)
+        config = NetworkConfig.twitter_two_relations(seed=5)
+        first = generate_relations(labels, communities, config)
+        second = generate_relations(labels, communities, config)
+        np.testing.assert_array_equal(first["following"][0], second["following"][0])
+
+
+class TestSplits:
+    def test_masks_partition_nodes(self):
+        train, val, test = split_masks(100, seed=0)
+        combined = train.astype(int) + val.astype(int) + test.astype(int)
+        np.testing.assert_array_equal(combined, np.ones(100, dtype=int))
+
+    def test_stratified_split_keeps_both_classes(self):
+        labels = np.array([0] * 90 + [1] * 10)
+        train, val, test = split_masks(100, seed=0, labels=labels)
+        assert labels[train].sum() > 0
+        assert labels[test].sum() > 0
+
+    def test_invalid_fractions_rejected(self):
+        with pytest.raises(ValueError):
+            split_masks(10, train_fraction=0.9, val_fraction=0.2)
+
+    def test_subsample_reduces_training_nodes(self):
+        train, _, _ = split_masks(200, seed=0)
+        reduced = subsample_train_mask(train, 0.25, seed=0)
+        assert reduced.sum() < train.sum()
+        assert np.all(train[reduced])  # subsample is a subset
+
+    def test_subsample_stratified_keeps_minority(self):
+        labels = np.array([0] * 180 + [1] * 20)
+        train, _, _ = split_masks(200, seed=0, labels=labels)
+        reduced = subsample_train_mask(train, 0.1, seed=0, labels=labels)
+        assert labels[reduced].sum() >= 1
+
+    def test_subsample_full_fraction_is_identity(self):
+        train, _, _ = split_masks(50, seed=0)
+        np.testing.assert_array_equal(subsample_train_mask(train, 1.0, seed=0), train)
+
+    def test_subsample_invalid_fraction(self):
+        train, _, _ = split_masks(50, seed=0)
+        with pytest.raises(ValueError):
+            subsample_train_mask(train, 0.0)
+
+    @given(
+        num_nodes=st.integers(min_value=10, max_value=200),
+        train_fraction=st.floats(min_value=0.2, max_value=0.7),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_split_property_disjoint_and_complete(self, num_nodes, train_fraction, seed):
+        train, val, test = split_masks(num_nodes, train_fraction=train_fraction, val_fraction=0.15, seed=seed)
+        assert not np.any(train & val)
+        assert not np.any(train & test)
+        assert not np.any(val & test)
+        assert np.all(train | val | test)
+
+
+class TestBenchmarks:
+    def test_available_names(self):
+        assert set(available_benchmarks()) == {"twibot-20", "twibot-22", "mgtab"}
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            load_benchmark("weibo")
+
+    def test_twibot20_structure(self):
+        benchmark = load_benchmark("twibot-20", num_users=120, tweets_per_user=5, seed=0)
+        stats = benchmark.statistics()
+        assert stats["num_users"] == 120
+        assert stats["num_relations"] == 2
+        # TwiBot-20 is roughly balanced with a slight bot majority.
+        assert 0.4 < stats["num_bot"] / 120 < 0.7
+        assert benchmark.graph.metadata["has_temporal_data"] is False
+
+    def test_twibot22_is_imbalanced_with_communities(self, tiny_twibot22):
+        stats = tiny_twibot22.statistics()
+        bot_fraction = stats["num_bot"] / stats["num_users"]
+        assert bot_fraction < 0.3
+        assert tiny_twibot22.num_communities >= 2
+        sub = tiny_twibot22.community_graph(0)
+        assert sub.num_nodes == tiny_twibot22.community_indices(0).size
+
+    def test_mgtab_has_seven_relations(self, tiny_mgtab):
+        assert tiny_mgtab.graph.num_relations == 7
+
+    def test_masks_cover_all_nodes(self, tiny_mgtab):
+        graph = tiny_mgtab.graph
+        combined = graph.train_mask | graph.val_mask | graph.test_mask
+        assert combined.all()
+
+    def test_features_match_users(self, tiny_mgtab):
+        assert tiny_mgtab.graph.features.shape[0] == len(tiny_mgtab.users)
+        assert np.all(np.isfinite(tiny_mgtab.graph.features))
+
+    def test_feature_blocks_metadata_present(self, tiny_mgtab):
+        blocks = tiny_mgtab.graph.metadata["feature_blocks"]
+        assert "description" in blocks and "temporal" in blocks
+
+    def test_bot_homophily_lower_than_human(self, tiny_twibot22):
+        graph = tiny_twibot22.graph
+        ratios = node_homophily_ratios(graph.merged_adjacency(), graph.labels)
+        assert np.nanmean(ratios[graph.labels == 1]) < np.nanmean(ratios[graph.labels == 0])
+
+    def test_deterministic_given_seed(self):
+        a = load_benchmark("mgtab", num_users=80, tweets_per_user=4, seed=3)
+        b = load_benchmark("mgtab", num_users=80, tweets_per_user=4, seed=3)
+        np.testing.assert_array_equal(a.graph.labels, b.graph.labels)
+        np.testing.assert_allclose(a.graph.features, b.graph.features)
+        assert a.graph.num_edges == b.graph.num_edges
+
+    def test_different_seeds_differ(self):
+        a = load_benchmark("mgtab", num_users=80, tweets_per_user=4, seed=1)
+        b = load_benchmark("mgtab", num_users=80, tweets_per_user=4, seed=2)
+        assert not np.array_equal(a.graph.labels, b.graph.labels) or a.graph.num_edges != b.graph.num_edges

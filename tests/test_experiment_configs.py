@@ -1,0 +1,96 @@
+"""Fast tests for experiment-harness configuration logic (no training)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BSG4Bot
+from repro.core.base import BotDetector
+from repro.experiments import table1, table3, table5
+from repro.experiments.runner import (
+    CORE_DETECTORS,
+    TABLE2_DETECTORS,
+    build_benchmark,
+    make_detector,
+)
+from repro.experiments.settings import MEDIUM, SMALL, ExperimentScale
+
+
+class TestScales:
+    def test_small_and_medium_presets(self):
+        assert SMALL.users_for("twibot-22") < MEDIUM.users_for("twibot-22")
+        assert MEDIUM.seeds >= SMALL.seeds
+
+    def test_unknown_benchmark_key_raises(self):
+        with pytest.raises(KeyError):
+            SMALL.users_for("weibo")
+
+    def test_scale_is_frozen(self):
+        with pytest.raises(Exception):
+            SMALL.max_epochs = 5  # type: ignore[misc]
+
+
+class TestRunnerHelpers:
+    def test_table2_covers_all_thirteen_models(self):
+        assert len(TABLE2_DETECTORS) == 13
+        assert TABLE2_DETECTORS[-1] == "bsg4bot"
+        assert set(CORE_DETECTORS) <= set(TABLE2_DETECTORS)
+
+    def test_make_detector_applies_scale_budget(self, tiny_scale):
+        detector = make_detector("gcn", scale=tiny_scale)
+        assert detector.max_epochs == tiny_scale.max_epochs
+        assert detector.hidden_dim == tiny_scale.hidden_dim
+
+    def test_make_detector_bsg4bot_config(self, tiny_scale):
+        detector = make_detector("bsg4bot", scale=tiny_scale, subgraph_k=3)
+        assert isinstance(detector, BSG4Bot)
+        assert detector.config.subgraph_k == 3
+        assert detector.config.max_epochs == tiny_scale.max_epochs
+
+    def test_make_detector_returns_detector_interface(self, tiny_scale):
+        for name in ("mlp", "slimg", "botmoe"):
+            assert isinstance(make_detector(name, scale=tiny_scale), BotDetector)
+
+    def test_build_benchmark_respects_scale_users(self, tiny_scale):
+        benchmark = build_benchmark("mgtab", scale=tiny_scale, seed=1)
+        assert benchmark.graph.num_nodes == tiny_scale.users_for("mgtab")
+
+
+class TestTableConfigLogic:
+    def test_table1_paper_statistics_recorded(self):
+        assert table1.PAPER_STATISTICS["twibot-22"]["users"] == 1_000_000
+        assert table1.PAPER_STATISTICS["mgtab"]["relations"] == 7
+
+    def test_table3_paper_reference_contains_bsg4bot(self):
+        assert "bsg4bot" in table3.PAPER_TABLE3
+        per_epoch, epochs, total_hours = table3.PAPER_TABLE3["bsg4bot"]
+        assert epochs == 67
+
+    def test_table5_config_for_ablation(self, tiny_scale):
+        full = table5._config_for_ablation("full", tiny_scale, seed=0)
+        assert full.use_biased_subgraphs and full.use_semantic_attention
+        ppr = table5._config_for_ablation("ppr_subgraphs", tiny_scale, seed=0)
+        assert ppr.use_biased_subgraphs is False
+        concat = table5._config_for_ablation("wo_intermediate_concat", tiny_scale, seed=0)
+        assert concat.use_intermediate_concat is False
+        pooling = table5._config_for_ablation("mean_pooling", tiny_scale, seed=0)
+        assert pooling.use_semantic_attention is False
+
+    def test_table5_benchmark_for_feature_ablations(self, tiny_scale):
+        without_category = table5._benchmark_for_ablation(
+            "mgtab", "wo_category_feature", tiny_scale, seed=0
+        )
+        assert "category" not in without_category.feature_pipeline.feature_names
+        without_temporal = table5._benchmark_for_ablation(
+            "mgtab", "wo_temporal_feature", tiny_scale, seed=0
+        )
+        assert "temporal" not in without_temporal.feature_pipeline.feature_names
+
+    def test_table5_unknown_ablation_rejected(self, tiny_scale):
+        with pytest.raises(KeyError):
+            table5.run(benchmarks=("mgtab",), ablations=("quantum",), scale=tiny_scale)
+
+    def test_table5_full_feature_set_untouched(self, tiny_scale):
+        full = table5._benchmark_for_ablation("mgtab", "full", tiny_scale, seed=0)
+        assert {"category", "temporal"} <= set(full.feature_pipeline.feature_names)

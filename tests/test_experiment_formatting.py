@@ -1,0 +1,101 @@
+"""Tests for the experiment formatters using hand-built result dictionaries.
+
+The formatters are what the benchmark harness prints, so they must cope with
+exactly the dictionaries ``run()`` produces (including missing entries) and
+render every row the paper's artifact contains.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig7, fig8, fig9, fig10, table2, table3, table4, table5
+
+
+def _metrics(acc: float, f1: float) -> dict:
+    return {"accuracy": acc, "f1": f1, "precision": f1, "recall": f1}
+
+
+class TestTableFormatters:
+    def test_table2_formatter_includes_all_models_and_benchmarks(self):
+        result = {
+            "mlp": {"mgtab": {"accuracy_mean": 84.0, "accuracy_std": 0.5, "f1_mean": 83.0, "f1_std": 0.4}},
+            "bsg4bot": {"mgtab": {"accuracy_mean": 90.0, "accuracy_std": 0.3, "f1_mean": 89.0, "f1_std": 0.2}},
+        }
+        text = table2.format_result(result)
+        assert "mlp" in text and "bsg4bot" in text
+        assert "90.00(0.3)" in text
+
+    def test_table2_formatter_handles_missing_benchmark(self):
+        result = {
+            "botmoe": {"twibot-20": {"accuracy_mean": 85.0, "accuracy_std": 1.0, "f1_mean": 86.0, "f1_std": 1.0}},
+            "rgt": {"mgtab": {"accuracy_mean": 88.0, "accuracy_std": 1.0, "f1_mean": 87.0, "f1_std": 1.0}},
+        }
+        text = table2.format_result(result)
+        assert "-" in text  # the model x benchmark cell that was not run
+
+    def test_table3_formatter_rows(self):
+        result = {
+            "gcn": {"time_per_epoch": 1.2, "epochs": 30, "total_time": 36.0, "f1": 70.0, "accuracy": 80.0},
+            "bsg4bot": {"time_per_epoch": 1.5, "epochs": 12, "total_time": 18.0, "f1": 75.0, "accuracy": 85.0},
+        }
+        text = table3.format_result(result)
+        assert "time/epoch (s)" in text
+        assert "bsg4bot" in text and "12" in text
+
+    def test_table4_formatter_rows(self):
+        result = {
+            "mgtab": {
+                "gcn": _metrics(80.0, 70.0),
+                "subgraphs+gcn": _metrics(83.0, 74.0),
+                "bsg4bot": _metrics(88.0, 80.0),
+            }
+        }
+        text = table4.format_result(result)
+        assert "subgraphs+gcn" in text
+        assert "88.00" in text
+
+    def test_table5_formatter_rows(self):
+        result = {
+            "mgtab": {
+                "full": _metrics(90.0, 85.0),
+                "mean_pooling": _metrics(88.0, 82.0),
+            }
+        }
+        text = table5.format_result(result)
+        assert "full" in text and "mean_pooling" in text
+
+
+class TestFigureFormatters:
+    def test_fig7_formatter_has_fraction_columns(self):
+        result = {
+            "bsg4bot": {0.1: {"f1": 80.0}, 1.0: {"f1": 88.0}},
+            "gcn": {0.1: {"f1": 60.0}, 1.0: {"f1": 75.0}},
+        }
+        text = fig7.format_result(result)
+        assert "10%" in text and "100%" in text
+        assert "bsg4bot" in text
+
+    def test_fig8_formatter_groups(self):
+        result = {
+            "k": 8,
+            "num_sampled_nodes": 100,
+            "all": {"original": 0.6, "biased_subgraph": 0.65},
+            "bot": {"original": 0.12, "biased_subgraph": 0.18},
+            "human": {"original": 0.97, "biased_subgraph": 0.97},
+        }
+        text = fig8.format_result(result)
+        assert "bot" in text and "human" in text and "0.180" in text
+
+    def test_fig9_formatter_matrix_and_average(self):
+        result = {
+            "communities": [0, 1],
+            "bsg4bot": {"matrix": [[90.0, 80.0], [78.0, 91.0]], "average": 84.75, "unseen_average": 79.0},
+        }
+        text = fig9.format_result(result)
+        assert "84.75" in text
+        assert "unseen" in text
+
+    def test_fig10_formatter_sorted_by_k(self):
+        result = {"mgtab": {8: _metrics(85.0, 78.0), 2: _metrics(80.0, 70.0)}}
+        text = fig10.format_result(result)
+        lines = [line for line in text.splitlines() if line.strip().startswith(("2", "8"))]
+        assert lines[0].strip().startswith("2")

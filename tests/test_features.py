@@ -1,0 +1,180 @@
+"""Tests for the feature pipeline (Eq. 3) and its individual blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.users import UserSimulator
+from repro.features import (
+    FeatureConfig,
+    FeaturePipeline,
+    categorical_metadata_features,
+    content_category_features,
+    description_features,
+    numerical_metadata_features,
+    temporal_activity_features,
+    tweet_features,
+    zscore,
+)
+from repro.features.categories import category_counts, cluster_tweets
+from repro.text import PseudoTextEncoder
+
+
+@pytest.fixture(scope="module")
+def users():
+    simulator = UserSimulator(seed=0, difficulty=0.2, tweets_per_user=10)
+    labels = [0] * 30 + [1] * 30
+    return simulator.draw_population(labels)
+
+
+@pytest.fixture(scope="module")
+def encoder():
+    return PseudoTextEncoder(dim=16, seed=0)
+
+
+class TestZScore:
+    def test_zero_mean_unit_std(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.normal(loc=5.0, scale=3.0, size=(100, 4))
+        scaled = zscore(matrix)
+        np.testing.assert_allclose(scaled.mean(axis=0), np.zeros(4), atol=1e-10)
+        np.testing.assert_allclose(scaled.std(axis=0), np.ones(4), atol=1e-6)
+
+    def test_constant_column_does_not_blow_up(self):
+        matrix = np.ones((10, 2))
+        scaled = zscore(matrix)
+        assert np.all(np.isfinite(scaled))
+
+
+class TestMetadataFeatures:
+    def test_numerical_shape(self, users):
+        features = numerical_metadata_features(users)
+        assert features.shape == (60, 6)
+        assert np.all(np.isfinite(features))
+
+    def test_categorical_shape_and_range(self, users):
+        features = categorical_metadata_features(users)
+        assert features.shape == (60, 6)
+        assert features[:, :5].min() >= 0.0
+        assert features[:, :4].max() <= 1.0
+
+    def test_numerical_separates_classes_on_average(self, users):
+        features = numerical_metadata_features(users)
+        labels = np.array([user.label for user in users])
+        # Followers (column 0, z-scored log) should be lower for bots on average.
+        assert features[labels == 1, 0].mean() < features[labels == 0, 0].mean()
+
+
+class TestTextFeatures:
+    def test_description_shape(self, users, encoder):
+        features = description_features(users, encoder)
+        assert features.shape == (60, 16)
+
+    def test_tweet_feature_shape(self, users, encoder):
+        features = tweet_features(users, encoder)
+        assert features.shape == (60, 16)
+
+    def test_tweet_feature_max_tweets_cap(self, users, encoder):
+        capped = tweet_features(users, encoder, max_tweets=1)
+        full = tweet_features(users, encoder)
+        assert capped.shape == full.shape
+        assert not np.allclose(capped, full)
+
+
+class TestCategoryFeatures:
+    def test_cluster_tweets_outputs(self, users, encoder):
+        per_user, kmeans = cluster_tweets(users, encoder, n_categories=10, seed=0)
+        assert len(per_user) == len(users)
+        assert kmeans.centroids is not None
+        counts = category_counts(per_user, kmeans.n_clusters)
+        assert counts.shape == (len(users),)
+        assert counts.max() <= 10
+
+    def test_feature_block_shape(self, users, encoder):
+        features = content_category_features(users, encoder, n_categories=10, seed=0)
+        assert features.shape == (60, 1 + 10)
+
+    def test_bots_use_fewer_categories(self, users, encoder):
+        per_user, kmeans = cluster_tweets(users, encoder, n_categories=15, seed=0)
+        counts = category_counts(per_user, kmeans.n_clusters)
+        labels = np.array([user.label for user in users])
+        assert counts[labels == 1].mean() < counts[labels == 0].mean()
+
+    def test_percentages_rows_sum_to_one(self, users, encoder):
+        features = content_category_features(users, encoder, n_categories=10, seed=0)
+        percentages = features[:, 1:]
+        np.testing.assert_allclose(percentages.sum(axis=1), np.ones(len(users)), atol=1e-9)
+
+
+class TestTemporalFeatures:
+    def test_shape_includes_summary_stats(self, users):
+        features = temporal_activity_features(users, months=12)
+        assert features.shape == (60, 14)
+
+    def test_percentages_sum_to_one_for_active_users(self, users):
+        features = temporal_activity_features(users, months=18)
+        sums = features[:, :18].sum(axis=1)
+        active = sums > 0
+        np.testing.assert_allclose(sums[active], np.ones(active.sum()), atol=1e-9)
+
+    def test_bots_have_lower_variability(self, users):
+        features = temporal_activity_features(users, months=18)
+        labels = np.array([user.label for user in users])
+        cv_column = features[:, 18]
+        assert cv_column[labels == 1].mean() < cv_column[labels == 0].mean()
+
+    def test_empty_user_list(self):
+        assert temporal_activity_features([], months=12).shape == (0, 14)
+
+
+class TestFeaturePipeline:
+    def test_full_pipeline_blocks_and_width(self, users):
+        pipeline = FeaturePipeline(FeatureConfig(text_dim=16, n_categories=10, seed=0))
+        matrix = pipeline.transform(users)
+        assert matrix.shape[0] == 60
+        assert set(pipeline.feature_names) == {
+            "description",
+            "tweet",
+            "numerical",
+            "categorical",
+            "category",
+            "temporal",
+        }
+        total_width = sum(s.stop - s.start for s in pipeline.block_slices.values())
+        assert total_width == matrix.shape[1]
+
+    def test_ablation_drops_category_block(self, users):
+        config = FeatureConfig(text_dim=16, include_category_feature=False, seed=0)
+        pipeline = FeaturePipeline(config)
+        pipeline.transform(users)
+        assert "category" not in pipeline.feature_names
+
+    def test_ablation_drops_temporal_block(self, users):
+        config = FeatureConfig(text_dim=16, include_temporal_feature=False, seed=0)
+        pipeline = FeaturePipeline(config)
+        pipeline.transform(users)
+        assert "temporal" not in pipeline.feature_names
+
+    def test_all_blocks_disabled_raises(self, users):
+        config = FeatureConfig(
+            include_description=False,
+            include_tweet=False,
+            include_numerical=False,
+            include_categorical=False,
+            include_category_feature=False,
+            include_temporal_feature=False,
+        )
+        with pytest.raises(ValueError):
+            FeaturePipeline(config).transform(users)
+
+    def test_block_slices_are_disjoint(self, users):
+        pipeline = FeaturePipeline(FeatureConfig(text_dim=16, seed=0))
+        pipeline.transform(users)
+        slices = sorted(pipeline.block_slices.values(), key=lambda s: s.start)
+        for previous, current in zip(slices, slices[1:]):
+            assert previous.stop == current.start
+
+    def test_features_are_finite(self, users):
+        matrix = FeaturePipeline(FeatureConfig(text_dim=16, seed=0)).transform(users)
+        assert np.all(np.isfinite(matrix))

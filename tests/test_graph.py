@@ -1,0 +1,189 @@
+"""Tests for the heterogeneous graph container and adjacency utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph import (
+    HeteroGraph,
+    RelationStore,
+    add_self_loops,
+    normalized_adjacency,
+    row_normalized_adjacency,
+    to_symmetric,
+)
+
+
+def small_graph() -> HeteroGraph:
+    """5-node, 2-relation graph used throughout these tests."""
+    features = np.arange(15, dtype=float).reshape(5, 3)
+    labels = np.array([0, 0, 1, 1, 0])
+    relations = {
+        "follow": (np.array([0, 1, 2, 3]), np.array([1, 0, 3, 2])),
+        "mention": (np.array([0, 4]), np.array([2, 2])),
+    }
+    return HeteroGraph(
+        num_nodes=5,
+        features=features,
+        labels=labels,
+        relations=relations,
+        train_mask=np.array([True, True, True, False, False]),
+        val_mask=np.array([False, False, False, True, False]),
+        test_mask=np.array([False, False, False, False, True]),
+        name="toy",
+    )
+
+
+class TestRelationStore:
+    def test_adjacency_shape_and_binary(self):
+        store = RelationStore("r", np.array([0, 0, 1]), np.array([1, 1, 2]), num_nodes=3)
+        adjacency = store.adjacency()
+        assert adjacency.shape == (3, 3)
+        # Duplicate edge (0, 1) is collapsed to a single binary entry.
+        assert adjacency[0, 1] == 1.0
+        assert store.num_edges == 3
+
+    def test_neighbors(self):
+        store = RelationStore("r", np.array([0, 0, 2]), np.array([1, 2, 0]), num_nodes=3)
+        assert set(store.out_neighbors(0)) == {1, 2}
+        assert set(store.in_neighbors(0)) == {2}
+
+    def test_degrees(self):
+        store = RelationStore("r", np.array([0, 0, 1]), np.array([1, 2, 2]), num_nodes=3)
+        np.testing.assert_allclose(store.degrees("out"), [2, 1, 0])
+        np.testing.assert_allclose(store.degrees("in"), [0, 1, 2])
+
+    def test_degrees_invalid_direction(self):
+        store = RelationStore("r", np.array([0]), np.array([1]), num_nodes=2)
+        with pytest.raises(ValueError):
+            store.degrees("sideways")
+
+    def test_rejects_out_of_range_edges(self):
+        with pytest.raises(ValueError):
+            RelationStore("r", np.array([0]), np.array([5]), num_nodes=3)
+
+    def test_rejects_negative_edges(self):
+        with pytest.raises(ValueError):
+            RelationStore("r", np.array([-1]), np.array([0]), num_nodes=3)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            RelationStore("r", np.array([0, 1]), np.array([1]), num_nodes=3)
+
+
+class TestHeteroGraph:
+    def test_basic_properties(self):
+        graph = small_graph()
+        assert graph.num_features == 3
+        assert graph.num_relations == 2
+        assert graph.relation_names == ["follow", "mention"]
+        assert graph.num_edges == 6
+
+    def test_masks_and_indices(self):
+        graph = small_graph()
+        np.testing.assert_array_equal(graph.train_indices(), [0, 1, 2])
+        np.testing.assert_array_equal(graph.val_indices(), [3])
+        np.testing.assert_array_equal(graph.test_indices(), [4])
+
+    def test_class_counts_and_statistics(self):
+        graph = small_graph()
+        assert graph.class_counts() == {0: 3, 1: 2}
+        stats = graph.statistics()
+        assert stats["num_users"] == 5
+        assert stats["num_bot"] == 2
+        assert stats["num_relations"] == 2
+
+    def test_feature_shape_validation(self):
+        with pytest.raises(ValueError):
+            HeteroGraph(3, np.zeros((2, 4)), np.zeros(3), {})
+
+    def test_label_shape_validation(self):
+        with pytest.raises(ValueError):
+            HeteroGraph(3, np.zeros((3, 4)), np.zeros(2), {})
+
+    def test_mask_length_validation(self):
+        with pytest.raises(ValueError):
+            HeteroGraph(3, np.zeros((3, 2)), np.zeros(3), {}, train_mask=np.array([True]))
+
+    def test_merged_adjacency_symmetric_binary(self):
+        graph = small_graph()
+        merged = graph.merged_adjacency(symmetric=True)
+        assert (merged != merged.T).nnz == 0
+        assert set(np.unique(merged.data)) == {1.0}
+
+    def test_merged_adjacency_empty_relations(self):
+        graph = HeteroGraph(3, np.zeros((3, 2)), np.zeros(3), {})
+        merged = graph.merged_adjacency()
+        assert merged.nnz == 0
+
+    def test_node_subgraph_remaps_edges(self):
+        graph = small_graph()
+        sub = graph.node_subgraph([2, 3])
+        assert sub.num_nodes == 2
+        follow = sub.relation("follow")
+        # Original edges 2->3 and 3->2 survive with remapped endpoints.
+        assert follow.num_edges == 2
+        assert set(zip(follow.src.tolist(), follow.dst.tolist())) == {(0, 1), (1, 0)}
+        np.testing.assert_array_equal(sub.labels, [1, 1])
+
+    def test_node_subgraph_drops_outside_edges(self):
+        graph = small_graph()
+        sub = graph.node_subgraph([0, 2])
+        assert sub.relation("follow").num_edges == 0
+        assert sub.relation("mention").num_edges == 1
+
+    def test_with_features_replaces_matrix_only(self):
+        graph = small_graph()
+        new_features = np.zeros((5, 10))
+        copy = graph.with_features(new_features)
+        assert copy.num_features == 10
+        assert copy.num_edges == graph.num_edges
+        np.testing.assert_array_equal(copy.labels, graph.labels)
+
+    def test_repr_contains_name(self):
+        assert "toy" in repr(small_graph())
+
+
+class TestAdjacencyNormalisation:
+    def setup_method(self):
+        self.adjacency = sp.csr_matrix(
+            np.array([[0, 1, 0], [0, 0, 1], [0, 0, 0]], dtype=float)
+        )
+
+    def test_to_symmetric(self):
+        symmetric = to_symmetric(self.adjacency)
+        assert (symmetric != symmetric.T).nnz == 0
+        assert symmetric[1, 0] == 1.0
+
+    def test_add_self_loops(self):
+        looped = add_self_loops(self.adjacency)
+        np.testing.assert_allclose(looped.diagonal(), np.ones(3))
+
+    def test_add_self_loops_idempotent_on_values(self):
+        looped = add_self_loops(add_self_loops(self.adjacency))
+        assert looped.max() == 1.0
+
+    def test_normalized_adjacency_row_sums(self):
+        symmetric = to_symmetric(self.adjacency)
+        normalized = normalized_adjacency(symmetric)
+        # Symmetric normalisation of a connected graph keeps values in (0, 1].
+        assert normalized.data.max() <= 1.0 + 1e-12
+        assert (normalized != normalized.T).nnz == 0
+
+    def test_row_normalized_rows_sum_to_one(self):
+        normalized = row_normalized_adjacency(self.adjacency)
+        sums = np.asarray(normalized.sum(axis=1)).ravel()
+        np.testing.assert_allclose(sums, np.ones(3), atol=1e-12)
+
+    def test_row_normalized_without_self_loops_handles_isolated(self):
+        normalized = row_normalized_adjacency(self.adjacency, self_loops=False)
+        sums = np.asarray(normalized.sum(axis=1)).ravel()
+        # Node 2 has no out-edges: its row stays all-zero instead of NaN.
+        np.testing.assert_allclose(sums, [1.0, 1.0, 0.0], atol=1e-12)
+
+    def test_normalized_adjacency_isolated_node(self):
+        isolated = sp.csr_matrix((3, 3))
+        normalized = normalized_adjacency(isolated, self_loops=False)
+        assert np.all(np.isfinite(normalized.toarray()))

@@ -1,0 +1,153 @@
+"""Tests and property tests for the homophily metrics (Eq. 1-2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.homophily import (
+    graph_homophily_ratio,
+    homophily_buckets,
+    node_homophily_ratios,
+    subgraph_homophily_summary,
+)
+
+
+def adjacency_from_edges(edges, num_nodes):
+    src = np.array([e[0] for e in edges], dtype=int)
+    dst = np.array([e[1] for e in edges], dtype=int)
+    data = np.ones(len(edges))
+    return sp.coo_matrix((data, (src, dst)), shape=(num_nodes, num_nodes)).tocsr()
+
+
+class TestNodeHomophily:
+    def test_fully_homophilic_chain(self):
+        adjacency = adjacency_from_edges([(0, 1), (1, 2)], 3)
+        labels = np.array([0, 0, 0])
+        ratios = node_homophily_ratios(adjacency, labels)
+        np.testing.assert_allclose(ratios, [1.0, 1.0, 1.0])
+
+    def test_fully_heterophilic_pair(self):
+        adjacency = adjacency_from_edges([(0, 1)], 2)
+        labels = np.array([0, 1])
+        ratios = node_homophily_ratios(adjacency, labels)
+        np.testing.assert_allclose(ratios, [0.0, 0.0])
+
+    def test_mixed_neighbourhood(self):
+        # Node 0 has neighbours with labels [0, 1, 1] -> h = 1/3.
+        adjacency = adjacency_from_edges([(0, 1), (0, 2), (0, 3)], 4)
+        labels = np.array([0, 0, 1, 1])
+        ratios = node_homophily_ratios(adjacency, labels)
+        assert ratios[0] == pytest.approx(1 / 3)
+
+    def test_isolated_node_is_nan(self):
+        adjacency = adjacency_from_edges([(0, 1)], 3)
+        labels = np.array([0, 0, 1])
+        ratios = node_homophily_ratios(adjacency, labels)
+        assert np.isnan(ratios[2])
+
+    def test_self_loops_ignored(self):
+        adjacency = adjacency_from_edges([(0, 0), (0, 1)], 2)
+        labels = np.array([0, 1])
+        ratios = node_homophily_ratios(adjacency, labels)
+        assert ratios[0] == 0.0
+
+    def test_directed_edges_are_symmetrised_by_default(self):
+        adjacency = adjacency_from_edges([(0, 1)], 2)
+        labels = np.array([0, 0])
+        ratios = node_homophily_ratios(adjacency, labels, undirected=True)
+        assert ratios[1] == 1.0
+
+    def test_directed_mode_keeps_direction(self):
+        adjacency = adjacency_from_edges([(0, 1)], 2)
+        labels = np.array([0, 0])
+        ratios = node_homophily_ratios(adjacency, labels, undirected=False)
+        assert np.isnan(ratios[1])
+
+
+class TestGraphHomophily:
+    def test_graph_ratio_is_mean_of_defined_nodes(self):
+        adjacency = adjacency_from_edges([(0, 1), (2, 3)], 5)
+        labels = np.array([0, 0, 0, 1, 1])
+        ratio = graph_homophily_ratio(adjacency, labels)
+        # Nodes 0,1 have h=1; nodes 2,3 have h=0; node 4 isolated (excluded).
+        assert ratio == pytest.approx(0.5)
+
+    def test_empty_graph_is_nan(self):
+        adjacency = sp.csr_matrix((3, 3))
+        assert np.isnan(graph_homophily_ratio(adjacency, np.zeros(3)))
+
+    def test_buckets_partition_defined_nodes(self):
+        ratios = np.array([0.0, 0.1, 0.3, 0.6, 0.9, np.nan])
+        buckets = homophily_buckets(ratios)
+        all_nodes = np.concatenate(list(buckets.values()))
+        assert sorted(all_nodes.tolist()) == [0, 1, 2, 3, 4]
+        assert 0 in buckets["(0.0,0.25]"]
+        assert 4 in buckets["(0.75,1.0]"]
+
+    def test_buckets_boundaries_are_inclusive_on_the_right(self):
+        ratios = np.array([0.25, 0.5, 0.75, 1.0])
+        buckets = homophily_buckets(ratios)
+        assert 0 in buckets["(0.0,0.25]"]
+        assert 1 in buckets["(0.25,0.5]"]
+        assert 2 in buckets["(0.5,0.75]"]
+        assert 3 in buckets["(0.75,1.0]"]
+
+    def test_summary_by_group(self):
+        ratios = np.array([1.0, 0.0, 0.5, np.nan])
+        labels = np.array([0, 1, 1, 0])
+        summary = subgraph_homophily_summary(ratios, labels)
+        assert summary["human"] == pytest.approx(1.0)
+        assert summary["bot"] == pytest.approx(0.25)
+        assert summary["all"] == pytest.approx(0.5)
+
+
+class TestHomophilyProperties:
+    @given(
+        num_nodes=st.integers(min_value=2, max_value=20),
+        edge_fraction=st.floats(min_value=0.05, max_value=0.5),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_ratios_in_unit_interval(self, num_nodes, edge_fraction, seed):
+        rng = np.random.default_rng(seed)
+        dense = (rng.random((num_nodes, num_nodes)) < edge_fraction).astype(float)
+        np.fill_diagonal(dense, 0)
+        labels = rng.integers(0, 2, size=num_nodes)
+        ratios = node_homophily_ratios(sp.csr_matrix(dense), labels)
+        defined = ratios[~np.isnan(ratios)]
+        assert np.all(defined >= 0.0) and np.all(defined <= 1.0)
+
+    @given(
+        num_nodes=st.integers(min_value=2, max_value=15),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_uniform_labels_give_ratio_one(self, num_nodes, seed):
+        rng = np.random.default_rng(seed)
+        dense = (rng.random((num_nodes, num_nodes)) < 0.3).astype(float)
+        np.fill_diagonal(dense, 0)
+        adjacency = sp.csr_matrix(dense)
+        labels = np.zeros(num_nodes, dtype=int)
+        ratios = node_homophily_ratios(adjacency, labels)
+        defined = ratios[~np.isnan(ratios)]
+        if defined.size:
+            np.testing.assert_allclose(defined, 1.0)
+
+    @given(
+        num_nodes=st.integers(min_value=2, max_value=15),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_flipping_labels_preserves_ratios(self, num_nodes, seed):
+        rng = np.random.default_rng(seed)
+        dense = (rng.random((num_nodes, num_nodes)) < 0.4).astype(float)
+        np.fill_diagonal(dense, 0)
+        adjacency = sp.csr_matrix(dense)
+        labels = rng.integers(0, 2, size=num_nodes)
+        original = node_homophily_ratios(adjacency, labels)
+        flipped = node_homophily_ratios(adjacency, 1 - labels)
+        np.testing.assert_allclose(original, flipped, equal_nan=True)

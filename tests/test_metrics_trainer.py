@@ -1,0 +1,199 @@
+"""Tests for classification metrics, early stopping and the training loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    EarlyStopping,
+    TrainingHistory,
+    accuracy_score,
+    binary_classification_report,
+    confusion_counts,
+    f1_score,
+    precision_score,
+    recall_score,
+    train_node_classifier,
+)
+from repro.nn import MLPBlock
+from repro.tensor import Tensor
+
+
+class TestMetrics:
+    def test_confusion_counts(self):
+        y_true = np.array([1, 1, 0, 0, 1])
+        y_pred = np.array([1, 0, 0, 1, 1])
+        tp, fp, tn, fn = confusion_counts(y_true, y_pred)
+        assert (tp, fp, tn, fn) == (2, 1, 1, 1)
+
+    def test_confusion_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_counts(np.array([1]), np.array([1, 0]))
+
+    def test_accuracy(self):
+        assert accuracy_score(np.array([1, 0, 1]), np.array([1, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_accuracy_empty_is_nan(self):
+        assert np.isnan(accuracy_score(np.array([]), np.array([])))
+
+    def test_perfect_scores(self):
+        y = np.array([0, 1, 1, 0])
+        assert precision_score(y, y) == 1.0
+        assert recall_score(y, y) == 1.0
+        assert f1_score(y, y) == 1.0
+
+    def test_all_negative_predictions(self):
+        y_true = np.array([1, 1, 0])
+        y_pred = np.zeros(3, dtype=int)
+        assert precision_score(y_true, y_pred) == 0.0
+        assert recall_score(y_true, y_pred) == 0.0
+        assert f1_score(y_true, y_pred) == 0.0
+
+    def test_f1_matches_formula(self):
+        y_true = np.array([1, 1, 0, 0, 1, 0])
+        y_pred = np.array([1, 0, 0, 1, 1, 0])
+        precision = precision_score(y_true, y_pred)
+        recall = recall_score(y_true, y_pred)
+        expected = 2 * precision * recall / (precision + recall)
+        assert f1_score(y_true, y_pred) == pytest.approx(expected)
+
+    def test_report_keys_and_percent_scale(self):
+        report = binary_classification_report(np.array([1, 0]), np.array([1, 0]))
+        assert set(report) == {"accuracy", "precision", "recall", "f1"}
+        assert report["accuracy"] == 100.0
+
+    @given(
+        size=st.integers(min_value=1, max_value=50),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_metric_bounds_property(self, size, seed):
+        rng = np.random.default_rng(seed)
+        y_true = rng.integers(0, 2, size=size)
+        y_pred = rng.integers(0, 2, size=size)
+        for metric in (accuracy_score, precision_score, recall_score, f1_score):
+            value = metric(y_true, y_pred)
+            assert 0.0 <= value <= 1.0
+
+    @given(
+        size=st.integers(min_value=1, max_value=50),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_f1_between_precision_and_recall(self, size, seed):
+        rng = np.random.default_rng(seed)
+        y_true = rng.integers(0, 2, size=size)
+        y_pred = rng.integers(0, 2, size=size)
+        precision = precision_score(y_true, y_pred)
+        recall = recall_score(y_true, y_pred)
+        f1 = f1_score(y_true, y_pred)
+        assert min(precision, recall) - 1e-12 <= f1 <= max(precision, recall) + 1e-12
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience_without_improvement(self):
+        stopper = EarlyStopping(patience=3)
+        assert stopper.update(0.5, 0) is False
+        assert stopper.update(0.5, 1) is False
+        assert stopper.update(0.5, 2) is False
+        assert stopper.update(0.5, 3) is True
+        assert stopper.best_epoch == 0
+
+    def test_improvement_resets_counter(self):
+        stopper = EarlyStopping(patience=2)
+        stopper.update(0.5, 0)
+        stopper.update(0.4, 1)
+        stopper.update(0.6, 2)  # improvement
+        assert stopper.counter == 0
+        assert stopper.best_epoch == 2
+
+    def test_min_delta_filters_tiny_improvements(self):
+        stopper = EarlyStopping(patience=1, min_delta=0.1)
+        stopper.update(0.5, 0)
+        assert stopper.update(0.55, 1) is True  # below min_delta: no improvement
+
+
+class TestTrainingHistory:
+    def test_mean_epoch_time(self):
+        history = TrainingHistory(epoch_times=[1.0, 3.0])
+        assert history.mean_epoch_time == 2.0
+        assert history.num_epochs == 0  # epochs counted from train losses
+
+    def test_empty_history(self):
+        history = TrainingHistory()
+        assert history.num_epochs == 0
+        assert history.mean_epoch_time == 0.0
+
+
+class TestTrainNodeClassifier:
+    def _make_problem(self, n=200, seed=0):
+        rng = np.random.default_rng(seed)
+        labels = np.zeros(n, dtype=np.int64)
+        labels[n // 2 :] = 1
+        features = rng.normal(size=(n, 5))
+        features[labels == 1] += 2.0
+        indices = rng.permutation(n)
+        return features, labels, indices[: int(0.7 * n)], indices[int(0.7 * n) :]
+
+    def test_learns_separable_problem(self):
+        features, labels, train_idx, val_idx = self._make_problem()
+        model = MLPBlock(5, 16, 2, np.random.default_rng(0))
+        x = Tensor(features)
+
+        def forward(training):
+            model.train() if training else model.eval()
+            return model(x)
+
+        history = train_node_classifier(
+            forward, model.parameters(), labels, train_idx, val_idx,
+            lr=0.05, max_epochs=60, patience=10,
+        )
+        assert history.best_val_score > 0.9
+        assert history.num_epochs <= 60
+        assert len(history.val_scores) == history.num_epochs
+
+    def test_early_stopping_limits_epochs(self):
+        features, labels, train_idx, val_idx = self._make_problem()
+        model = MLPBlock(5, 8, 2, np.random.default_rng(0))
+        x = Tensor(features)
+
+        def forward(training):
+            return model(x)
+
+        history = train_node_classifier(
+            forward, model.parameters(), labels, train_idx, val_idx,
+            lr=0.05, max_epochs=500, patience=3,
+        )
+        assert history.num_epochs < 500
+
+    def test_best_parameters_restored(self):
+        features, labels, train_idx, val_idx = self._make_problem()
+        model = MLPBlock(5, 8, 2, np.random.default_rng(0))
+        x = Tensor(features)
+
+        def forward(training):
+            return model(x)
+
+        history = train_node_classifier(
+            forward, model.parameters(), labels, train_idx, val_idx,
+            lr=0.05, max_epochs=40, patience=5, metric="accuracy",
+        )
+        # Evaluating with the restored parameters reproduces the best score.
+        logits = forward(False).numpy()
+        predictions = logits[val_idx].argmax(axis=1)
+        assert accuracy_score(labels[val_idx], predictions) == pytest.approx(
+            history.best_val_score, abs=1e-9
+        )
+
+    def test_unknown_metric_rejected(self):
+        features, labels, train_idx, val_idx = self._make_problem(n=40)
+        model = MLPBlock(5, 4, 2, np.random.default_rng(0))
+        x = Tensor(features)
+        with pytest.raises(ValueError):
+            train_node_classifier(
+                lambda training: model(x), model.parameters(), labels, train_idx, val_idx,
+                max_epochs=1, metric="auc",
+            )

@@ -1,0 +1,169 @@
+"""Tests for the graph neural network layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph import normalized_adjacency
+from repro.nn import GATConv, GCNConv, RGCNConv, SAGEConv, SemanticAttention
+from repro.tensor import Tensor
+
+RNG = np.random.default_rng(11)
+
+
+@pytest.fixture
+def adjacency():
+    dense = np.array(
+        [
+            [0, 1, 0, 0, 1],
+            [1, 0, 1, 0, 0],
+            [0, 1, 0, 1, 0],
+            [0, 0, 1, 0, 1],
+            [1, 0, 0, 1, 0],
+        ],
+        dtype=float,
+    )
+    return sp.csr_matrix(dense)
+
+
+@pytest.fixture
+def features():
+    return Tensor(RNG.normal(size=(5, 6)), requires_grad=True)
+
+
+class TestGCNConv:
+    def test_output_shape(self, adjacency, features):
+        conv = GCNConv(6, 4, np.random.default_rng(0))
+        out = conv(features, normalized_adjacency(adjacency))
+        assert out.shape == (5, 4)
+
+    def test_gradients_reach_weights_and_inputs(self, adjacency, features):
+        conv = GCNConv(6, 4, np.random.default_rng(0))
+        out = conv(features, normalized_adjacency(adjacency))
+        out.sum().backward()
+        assert conv.linear.weight.grad is not None
+        assert features.grad is not None
+
+    def test_isolated_node_keeps_self_information(self):
+        # Node 2 is isolated; with self-loops its output is its own projection.
+        adjacency = sp.csr_matrix(np.array([[0, 1, 0], [1, 0, 0], [0, 0, 0]], dtype=float))
+        conv = GCNConv(2, 2, np.random.default_rng(0), bias=False)
+        x = Tensor(np.array([[1.0, 0.0], [0.0, 1.0], [2.0, 2.0]]))
+        out = conv(x, normalized_adjacency(adjacency)).numpy()
+        expected_row = np.array([2.0, 2.0]) @ conv.linear.weight.numpy()
+        np.testing.assert_allclose(out[2], expected_row, atol=1e-10)
+
+    def test_constant_features_on_regular_graph_stay_constant(self):
+        # On a 3-cycle (regular graph) with identical inputs, outputs are identical.
+        ring = sp.csr_matrix(np.array([[0, 1, 1], [1, 0, 1], [1, 1, 0]], dtype=float))
+        conv = GCNConv(3, 3, np.random.default_rng(0))
+        x = Tensor(np.ones((3, 3)))
+        out = conv(x, normalized_adjacency(ring)).numpy()
+        np.testing.assert_allclose(out[0], out[1], atol=1e-10)
+        np.testing.assert_allclose(out[1], out[2], atol=1e-10)
+
+
+class TestGATConv:
+    def test_output_shape(self, adjacency, features):
+        conv = GATConv(6, 3, np.random.default_rng(0))
+        assert conv(features, adjacency).shape == (5, 3)
+
+    def test_gradients_flow(self, adjacency, features):
+        conv = GATConv(6, 3, np.random.default_rng(0))
+        conv(features, adjacency).sum().backward()
+        assert conv.att_src.grad is not None
+        assert conv.att_dst.grad is not None
+        assert features.grad is not None
+
+    def test_attention_is_convex_combination(self):
+        # With a zero bias and identical neighbour features, the output equals
+        # the projected shared feature (attention weights sum to one).
+        adjacency = sp.csr_matrix(np.array([[0, 1, 1], [1, 0, 1], [1, 1, 0]], dtype=float))
+        conv = GATConv(2, 2, np.random.default_rng(1))
+        x = Tensor(np.ones((3, 2)))
+        out = conv(x, adjacency).numpy()
+        projected = (np.ones((1, 2)) @ conv.linear.weight.numpy()).ravel()
+        np.testing.assert_allclose(out[0], projected + conv.bias.numpy(), atol=1e-8)
+
+    def test_handles_graph_without_edges(self):
+        empty = sp.csr_matrix((4, 4))
+        conv = GATConv(3, 2, np.random.default_rng(0))
+        out = conv(Tensor(RNG.normal(size=(4, 3))), empty)
+        assert out.shape == (4, 2)
+        assert np.all(np.isfinite(out.numpy()))
+
+
+class TestSAGEConv:
+    def test_output_shape(self, adjacency, features):
+        conv = SAGEConv(6, 4, np.random.default_rng(0))
+        assert conv(features, adjacency).shape == (5, 4)
+
+    def test_isolated_node_uses_zero_neighbour_mean(self):
+        adjacency = sp.csr_matrix((3, 3))
+        conv = SAGEConv(2, 2, np.random.default_rng(0))
+        x = Tensor(RNG.normal(size=(3, 2)))
+        out = conv(x, adjacency)
+        assert np.all(np.isfinite(out.numpy()))
+
+    def test_gradients_flow(self, adjacency, features):
+        conv = SAGEConv(6, 4, np.random.default_rng(0))
+        conv(features, adjacency).sum().backward()
+        assert conv.linear.weight.grad is not None
+
+
+class TestRGCNConv:
+    def test_output_shape_with_multiple_relations(self, adjacency, features):
+        conv = RGCNConv(6, 4, ["a", "b"], np.random.default_rng(0))
+        adjacencies = {"a": normalized_adjacency(adjacency), "b": normalized_adjacency(adjacency.T)}
+        assert conv(features, adjacencies).shape == (5, 4)
+
+    def test_missing_relation_is_skipped(self, adjacency, features):
+        conv = RGCNConv(6, 4, ["a", "b"], np.random.default_rng(0))
+        out_partial = conv(features, {"a": normalized_adjacency(adjacency)})
+        assert out_partial.shape == (5, 4)
+
+    def test_per_relation_weights_are_distinct_parameters(self):
+        conv = RGCNConv(3, 3, ["a", "b"], np.random.default_rng(0))
+        assert conv.relation_linears["a"].weight is not conv.relation_linears["b"].weight
+        # self-loop + 2 relations (no bias) -> 2 + 2 = 4 parameter tensors.
+        assert len(conv.parameters()) == 4
+
+    def test_gradients_flow_to_all_relations(self, adjacency, features):
+        conv = RGCNConv(6, 2, ["a", "b"], np.random.default_rng(0))
+        adjacencies = {"a": normalized_adjacency(adjacency), "b": normalized_adjacency(adjacency)}
+        conv(features, adjacencies).sum().backward()
+        assert conv.relation_linears["a"].weight.grad is not None
+        assert conv.relation_linears["b"].weight.grad is not None
+
+
+class TestSemanticAttention:
+    def test_weights_sum_to_one(self):
+        attention = SemanticAttention(4, 8, np.random.default_rng(0))
+        embeddings = [Tensor(RNG.normal(size=(6, 4))) for _ in range(3)]
+        fused, weights = attention(embeddings)
+        assert fused.shape == (6, 4)
+        assert weights.shape == (3, 1)
+        assert weights.numpy().sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_single_relation_gets_weight_one(self):
+        attention = SemanticAttention(4, 8, np.random.default_rng(0))
+        embeddings = [Tensor(RNG.normal(size=(5, 4)))]
+        fused, weights = attention(embeddings)
+        assert weights.numpy().ravel()[0] == pytest.approx(1.0)
+        np.testing.assert_allclose(fused.numpy(), embeddings[0].numpy(), atol=1e-9)
+
+    def test_identical_relations_get_equal_weights(self):
+        attention = SemanticAttention(4, 8, np.random.default_rng(0))
+        shared = Tensor(RNG.normal(size=(5, 4)))
+        _, weights = attention([shared, shared])
+        np.testing.assert_allclose(weights.numpy().ravel(), [0.5, 0.5], atol=1e-9)
+
+    def test_gradients_flow_to_query(self):
+        attention = SemanticAttention(4, 8, np.random.default_rng(0))
+        embeddings = [Tensor(RNG.normal(size=(5, 4)), requires_grad=True) for _ in range(2)]
+        fused, _ = attention(embeddings)
+        fused.sum().backward()
+        assert attention.query.grad is not None
+        assert embeddings[0].grad is not None

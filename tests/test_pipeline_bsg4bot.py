@@ -1,0 +1,115 @@
+"""End-to-end tests for the BSG4Bot pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BSG4Bot, BSG4BotConfig
+from tests.conftest import make_separable_graph
+
+
+def fast_config(**overrides) -> BSG4BotConfig:
+    base = BSG4BotConfig(
+        pretrain_epochs=25,
+        pretrain_hidden_dim=16,
+        hidden_dim=16,
+        subgraph_k=4,
+        max_epochs=12,
+        patience=4,
+        batch_size=32,
+        seed=0,
+    )
+    return base.with_overrides(**overrides)
+
+
+@pytest.fixture(scope="module")
+def fitted_detector():
+    graph = make_separable_graph(num_nodes=100, num_relations=2, seed=5)
+    detector = BSG4Bot(fast_config())
+    history = detector.fit(graph)
+    return graph, detector, history
+
+
+class TestFitPredict:
+    def test_learns_separable_graph(self, fitted_detector):
+        graph, detector, history = fitted_detector
+        metrics = detector.evaluate(graph)
+        assert metrics["accuracy"] > 80.0
+        assert metrics["f1"] > 75.0
+        assert history.num_epochs >= 1
+
+    def test_history_records_phases(self, fitted_detector):
+        _, detector, history = fitted_detector
+        phase_times = history.extra["phase_times"]
+        assert phase_times["pretrain"] > 0
+        assert phase_times["subgraph_construction"] > 0
+        assert len(history.train_losses) == history.num_epochs
+
+    def test_predict_proba_shape_and_rows(self, fitted_detector):
+        graph, detector, _ = fitted_detector
+        probabilities = detector.predict_proba(graph)
+        assert probabilities.shape == (graph.num_nodes, 2)
+        np.testing.assert_allclose(probabilities.sum(axis=1), np.ones(graph.num_nodes), atol=1e-8)
+
+    def test_predict_labels_binary(self, fitted_detector):
+        graph, detector, _ = fitted_detector
+        predictions = detector.predict(graph)
+        assert set(np.unique(predictions)) <= {0, 1}
+
+    def test_subgraph_store_reused_for_training_nodes(self, fitted_detector):
+        graph, detector, _ = fitted_detector
+        train_nodes = graph.train_indices()
+        assert all(int(node) in detector.store for node in train_nodes)
+
+    def test_relation_importance_sums_to_one(self, fitted_detector):
+        graph, detector, _ = fitted_detector
+        detector.predict_proba(graph)
+        importance = detector.relation_importance()
+        assert set(importance) == set(graph.relation_names)
+        assert sum(importance.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_evaluate_on_custom_mask(self, fitted_detector):
+        graph, detector, _ = fitted_detector
+        mask = np.zeros(graph.num_nodes, dtype=bool)
+        mask[:10] = True
+        metrics = detector.evaluate(graph, mask=mask)
+        assert set(metrics) == {"accuracy", "precision", "recall", "f1"}
+
+    def test_predict_before_fit_raises(self):
+        detector = BSG4Bot(fast_config())
+        graph = make_separable_graph(num_nodes=30, seed=6)
+        with pytest.raises(RuntimeError):
+            detector.predict_proba(graph)
+
+
+class TestTransferAndAblations:
+    def test_transfer_to_unseen_graph(self, fitted_detector):
+        _, detector, _ = fitted_detector
+        unseen = make_separable_graph(num_nodes=60, num_relations=2, seed=9)
+        predictions = detector.predict(unseen)
+        assert predictions.shape == (60,)
+        accuracy = np.mean(predictions == unseen.labels)
+        assert accuracy > 0.6  # transfers the separable decision boundary
+
+    def test_ppr_only_variant_runs(self):
+        graph = make_separable_graph(num_nodes=60, seed=7)
+        detector = BSG4Bot(fast_config(use_biased_subgraphs=False, max_epochs=5))
+        detector.fit(graph)
+        assert detector.evaluate(graph)["accuracy"] > 50.0
+
+    def test_mean_pooling_variant_runs(self):
+        graph = make_separable_graph(num_nodes=60, seed=7)
+        detector = BSG4Bot(fast_config(use_semantic_attention=False, max_epochs=5))
+        detector.fit(graph)
+        assert detector.model.last_relation_weights is not None
+
+    def test_no_concat_variant_runs(self):
+        graph = make_separable_graph(num_nodes=60, seed=7)
+        detector = BSG4Bot(fast_config(use_intermediate_concat=False, max_epochs=5))
+        detector.fit(graph)
+        assert detector.model.final_dim == detector.config.hidden_dim
+
+    def test_invalid_config_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            BSG4Bot(BSG4BotConfig(subgraph_k=-1))

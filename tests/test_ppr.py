@@ -1,0 +1,139 @@
+"""Tests for exact and approximate personalized PageRank."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ppr import approximate_ppr, power_iteration_ppr, topk_ppr_neighbors
+
+
+def ring_graph(num_nodes: int) -> sp.csr_matrix:
+    src = np.arange(num_nodes)
+    dst = (src + 1) % num_nodes
+    data = np.ones(num_nodes)
+    return sp.coo_matrix((data, (src, dst)), shape=(num_nodes, num_nodes)).tocsr()
+
+
+def random_graph(num_nodes: int, density: float, seed: int) -> sp.csr_matrix:
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((num_nodes, num_nodes)) < density).astype(float)
+    np.fill_diagonal(dense, 0)
+    return sp.csr_matrix(dense)
+
+
+class TestPowerIterationPPR:
+    def test_distribution_sums_to_one(self):
+        adjacency = random_graph(12, 0.3, seed=0)
+        scores = power_iteration_ppr(adjacency, 0, alpha=0.2)
+        assert scores.sum() == pytest.approx(1.0, abs=1e-6)
+        assert np.all(scores >= 0)
+
+    def test_start_node_has_largest_score(self):
+        adjacency = random_graph(15, 0.2, seed=1)
+        scores = power_iteration_ppr(adjacency, 3, alpha=0.3)
+        assert scores.argmax() == 3
+
+    def test_higher_alpha_concentrates_on_start(self):
+        adjacency = random_graph(15, 0.3, seed=2)
+        low = power_iteration_ppr(adjacency, 0, alpha=0.1)
+        high = power_iteration_ppr(adjacency, 0, alpha=0.6)
+        assert high[0] > low[0]
+
+    def test_symmetric_ring_gives_symmetric_scores(self):
+        adjacency = ring_graph(6)
+        symmetric = (adjacency + adjacency.T).tocsr()
+        scores = power_iteration_ppr(symmetric, 0, alpha=0.2)
+        # Nodes equidistant from the start have equal scores on a ring.
+        assert scores[1] == pytest.approx(scores[5], abs=1e-8)
+        assert scores[2] == pytest.approx(scores[4], abs=1e-8)
+
+    def test_dangling_node_handled(self):
+        adjacency = sp.csr_matrix(np.array([[0, 1], [0, 0]], dtype=float))
+        scores = power_iteration_ppr(adjacency, 0, alpha=0.2)
+        assert scores.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_invalid_alpha_rejected(self):
+        adjacency = ring_graph(4)
+        with pytest.raises(ValueError):
+            power_iteration_ppr(adjacency, 0, alpha=1.5)
+
+    def test_invalid_start_node_rejected(self):
+        with pytest.raises(ValueError):
+            power_iteration_ppr(ring_graph(4), 10)
+
+
+class TestApproximatePPR:
+    def test_close_to_power_iteration(self):
+        adjacency = random_graph(25, 0.25, seed=3)
+        exact = power_iteration_ppr(adjacency, 0, alpha=0.2)
+        approx = approximate_ppr(adjacency, 0, alpha=0.2, epsilon=1e-6)
+        approx_vector = np.zeros(25)
+        for node, score in approx.items():
+            approx_vector[node] = score
+        # The push method underestimates by at most the residual mass.
+        assert np.abs(exact - approx_vector).max() < 0.02
+
+    def test_mass_bounded_by_one(self):
+        adjacency = random_graph(30, 0.2, seed=4)
+        approx = approximate_ppr(adjacency, 5, alpha=0.15, epsilon=1e-5)
+        assert 0 < sum(approx.values()) <= 1.0 + 1e-9
+
+    def test_start_node_dominates(self):
+        adjacency = random_graph(30, 0.15, seed=5)
+        approx = approximate_ppr(adjacency, 7, alpha=0.3, epsilon=1e-5)
+        assert max(approx, key=approx.get) == 7
+
+    def test_locality_on_disconnected_components(self):
+        # Two disconnected triangles: scores never leak across components.
+        block = np.array([[0, 1, 1], [1, 0, 1], [1, 1, 0]], dtype=float)
+        adjacency = sp.block_diag([block, block]).tocsr()
+        approx = approximate_ppr(adjacency, 0, alpha=0.2, epsilon=1e-8)
+        assert all(node < 3 for node in approx)
+
+    def test_isolated_start_node(self):
+        adjacency = sp.csr_matrix((4, 4))
+        approx = approximate_ppr(adjacency, 2, alpha=0.2, epsilon=1e-4)
+        assert set(approx) <= {2}
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            approximate_ppr(ring_graph(4), 0, epsilon=0.0)
+
+    @given(seed=st.integers(0, 500), start=st.integers(0, 19))
+    @settings(max_examples=20, deadline=None)
+    def test_scores_nonnegative_property(self, seed, start):
+        adjacency = random_graph(20, 0.2, seed=seed)
+        approx = approximate_ppr(adjacency, start, alpha=0.2, epsilon=1e-4)
+        assert all(score >= 0 for score in approx.values())
+
+
+class TestTopKNeighbors:
+    def test_returns_at_most_k(self):
+        adjacency = random_graph(40, 0.3, seed=6)
+        nodes, scores = topk_ppr_neighbors(adjacency, 0, k=5, epsilon=1e-5)
+        assert len(nodes) <= 5
+        assert len(nodes) == len(scores)
+
+    def test_excludes_start_node_by_default(self):
+        adjacency = random_graph(20, 0.4, seed=7)
+        nodes, _ = topk_ppr_neighbors(adjacency, 3, k=10, epsilon=1e-5)
+        assert 3 not in nodes
+
+    def test_include_start_flag(self):
+        adjacency = random_graph(20, 0.4, seed=8)
+        nodes, _ = topk_ppr_neighbors(adjacency, 3, k=30, epsilon=1e-5, include_start=True)
+        assert 3 in nodes
+
+    def test_scores_sorted_descending(self):
+        adjacency = random_graph(30, 0.3, seed=9)
+        _, scores = topk_ppr_neighbors(adjacency, 0, k=10, epsilon=1e-6)
+        assert np.all(np.diff(scores) <= 1e-12)
+
+    def test_empty_result_for_isolated_node(self):
+        adjacency = sp.csr_matrix((5, 5))
+        nodes, scores = topk_ppr_neighbors(adjacency, 1, k=3)
+        assert nodes.size == 0 and scores.size == 0

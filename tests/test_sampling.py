@@ -1,0 +1,248 @@
+"""Tests for subgraph containers, biased subgraph construction and samplers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.preclassifier import PretrainedClassifier
+from repro.graph.homophily import node_homophily_ratios
+from repro.sampling import (
+    BiasedSubgraphBuilder,
+    PPRSubgraphBuilder,
+    Subgraph,
+    SubgraphStore,
+    collate_subgraphs,
+    greedy_partition,
+    sample_neighbor_adjacency,
+)
+from tests.conftest import make_separable_graph
+
+
+@pytest.fixture(scope="module")
+def toy_graph():
+    return make_separable_graph(num_nodes=80, num_relations=2, homophily=0.85, seed=2)
+
+
+@pytest.fixture(scope="module")
+def builder(toy_graph):
+    # Use raw features as similarity embeddings: classes are separable there.
+    return BiasedSubgraphBuilder(toy_graph, toy_graph.features, k=6)
+
+
+class TestSubgraphContainer:
+    def test_center_must_be_first(self):
+        with pytest.raises(ValueError):
+            Subgraph(center=5, nodes=np.array([1, 5]), relation_edges={})
+
+    def test_num_edges_per_relation(self):
+        subgraph = Subgraph(
+            center=0,
+            nodes=np.array([0, 1, 2]),
+            relation_edges={
+                "a": (np.array([1, 2]), np.array([0, 0])),
+                "b": (np.array([1]), np.array([2])),
+            },
+        )
+        assert subgraph.num_nodes == 3
+        assert subgraph.num_edges() == 3
+        assert subgraph.num_edges("a") == 2
+
+    def test_relation_adjacency_shape(self):
+        subgraph = Subgraph(
+            center=0,
+            nodes=np.array([0, 3]),
+            relation_edges={"a": (np.array([1]), np.array([0]))},
+        )
+        adjacency = subgraph.relation_adjacency("a")
+        assert adjacency.shape == (2, 2)
+        assert adjacency[1, 0] == 1.0
+
+    def test_missing_relation_gives_empty_adjacency(self):
+        subgraph = Subgraph(center=0, nodes=np.array([0]), relation_edges={})
+        assert subgraph.relation_adjacency("missing").nnz == 0
+
+    def test_center_homophily(self):
+        labels = np.array([0, 0, 1, 1])
+        subgraph = Subgraph(
+            center=0,
+            nodes=np.array([0, 1, 2]),
+            relation_edges={"a": (np.array([1, 2]), np.array([0, 0]))},
+        )
+        # Center's neighbours are nodes 1 (label 0) and 2 (label 1) -> h = 0.5.
+        assert subgraph.center_homophily(labels) == pytest.approx(0.5)
+
+
+class TestBiasedBuilder:
+    def test_subgraph_contains_center_and_respects_k(self, toy_graph, builder):
+        subgraph = builder.build(0)
+        assert subgraph.center == 0
+        assert subgraph.nodes[0] == 0
+        # Union over relations: at most 1 + k * num_relations nodes.
+        assert subgraph.num_nodes <= 1 + builder.k * toy_graph.num_relations
+
+    def test_star_edges_connect_selected_to_center(self, builder):
+        subgraph = builder.build(3)
+        for relation in subgraph.relation_edges:
+            src, dst = subgraph.relation_edges[relation]
+            if len(src):
+                # every subgraph keeps at least the star edges into local index 0
+                assert (dst == 0).sum() > 0
+
+    def test_original_edges_preserved(self, toy_graph, builder):
+        subgraph = builder.build(5)
+        local = {int(original): i for i, original in enumerate(subgraph.nodes)}
+        for relation, (src, dst) in subgraph.relation_edges.items():
+            store = toy_graph.relation(relation)
+            original_pairs = set(zip(store.src.tolist(), store.dst.tolist()))
+            for s, d in zip(src.tolist(), dst.tolist()):
+                if d == 0:
+                    continue  # star edges may be synthetic
+                original_edge = (int(subgraph.nodes[s]), int(subgraph.nodes[d]))
+                assert original_edge in original_pairs
+
+    def test_invalid_parameters_rejected(self, toy_graph):
+        with pytest.raises(ValueError):
+            BiasedSubgraphBuilder(toy_graph, toy_graph.features, k=0)
+        with pytest.raises(ValueError):
+            BiasedSubgraphBuilder(toy_graph, toy_graph.features, k=4, mix_lambda=2.0)
+        with pytest.raises(ValueError):
+            BiasedSubgraphBuilder(toy_graph, toy_graph.features[:5], k=4)
+
+    def test_build_store_covers_requested_nodes(self, toy_graph, builder):
+        store = builder.build_store(nodes=[0, 1, 2])
+        assert len(store) == 3
+        assert 1 in store
+        assert store.get(2).center == 2
+
+    def test_biased_subgraphs_raise_homophily_over_ppr(self, toy_graph):
+        """The core claim of Figure 8: classifier-guided selection increases
+        the center homophily compared to pure PPR selection."""
+        biased = BiasedSubgraphBuilder(toy_graph, toy_graph.features, k=6, mix_lambda=0.5)
+        ppr_only = PPRSubgraphBuilder(toy_graph, k=6)
+        labels = toy_graph.labels
+        nodes = np.arange(0, toy_graph.num_nodes, 2)
+        biased_h = np.nanmean([biased.build(int(n)).center_homophily(labels) for n in nodes])
+        ppr_h = np.nanmean([ppr_only.build(int(n)).center_homophily(labels) for n in nodes])
+        assert biased_h >= ppr_h - 0.05
+
+    def test_ppr_variant_ignores_embeddings(self, toy_graph):
+        ppr_builder = PPRSubgraphBuilder(toy_graph, k=5)
+        assert ppr_builder.mix_lambda == 1.0
+
+    def test_subgraph_with_real_preclassifier_embeddings(self, toy_graph):
+        classifier = PretrainedClassifier(toy_graph.num_features, hidden_dim=8, epochs=20)
+        classifier.fit_graph(toy_graph)
+        embeddings = classifier.hidden_representations(toy_graph.features)
+        builder = BiasedSubgraphBuilder(toy_graph, embeddings, k=4)
+        subgraph = builder.build(0)
+        assert subgraph.num_nodes > 1
+
+
+class TestCollateAndStore:
+    def test_collate_block_diagonal_shapes(self, toy_graph, builder):
+        subgraphs = [builder.build(i) for i in range(4)]
+        batch = collate_subgraphs(subgraphs, toy_graph)
+        total_nodes = sum(s.num_nodes for s in subgraphs)
+        assert batch.features.shape == (total_nodes, toy_graph.num_features)
+        assert batch.num_centers == 4
+        for adjacency in batch.relation_adjacencies.values():
+            assert adjacency.shape == (total_nodes, total_nodes)
+
+    def test_collate_center_positions_and_labels(self, toy_graph, builder):
+        subgraphs = [builder.build(i) for i in (3, 7)]
+        batch = collate_subgraphs(subgraphs, toy_graph)
+        assert batch.center_positions[0] == 0
+        assert batch.center_positions[1] == subgraphs[0].num_nodes
+        np.testing.assert_array_equal(batch.center_nodes, [3, 7])
+        np.testing.assert_array_equal(batch.labels, toy_graph.labels[[3, 7]])
+
+    def test_collate_empty_list_rejected(self, toy_graph):
+        with pytest.raises(ValueError):
+            collate_subgraphs([], toy_graph)
+
+    def test_store_batches_cover_all_nodes(self, toy_graph, builder):
+        store = builder.build_store(nodes=range(10))
+        seen = []
+        for batch in store.batches(list(range(10)), batch_size=4):
+            seen.extend(batch.center_nodes.tolist())
+        assert sorted(seen) == list(range(10))
+
+    def test_store_batches_shuffled_with_rng(self, toy_graph, builder):
+        store = builder.build_store(nodes=range(10))
+        ordered = [b.center_nodes.tolist() for b in store.batches(range(10), 10)][0]
+        shuffled = [
+            b.center_nodes.tolist()
+            for b in store.batches(range(10), 10, rng=np.random.default_rng(1))
+        ][0]
+        assert sorted(ordered) == sorted(shuffled)
+
+    def test_store_average_center_homophily_by_class(self, toy_graph, builder):
+        # Include nodes from both halves of the toy graph (labels 0 and 1).
+        nodes = list(range(10)) + list(range(40, 50))
+        store = builder.build_store(nodes=nodes)
+        overall = store.average_center_homophily()
+        bots = store.average_center_homophily(label_filter=1)
+        humans = store.average_center_homophily(label_filter=0)
+        assert 0.0 <= overall <= 1.0
+        assert 0.0 <= bots <= 1.0 and 0.0 <= humans <= 1.0
+
+    def test_store_homophily_nan_when_class_absent(self, toy_graph, builder):
+        store = builder.build_store(nodes=range(5))  # all label-0 nodes
+        assert np.isnan(store.average_center_homophily(label_filter=1))
+
+
+class TestNeighborSampling:
+    def test_fanout_respected(self, toy_graph):
+        adjacency = toy_graph.merged_adjacency()
+        sampled = sample_neighbor_adjacency(adjacency, fanout=3, rng=np.random.default_rng(0))
+        degrees = np.asarray(sampled.sum(axis=1)).ravel()
+        assert degrees.max() <= 3
+
+    def test_sampled_edges_are_subset(self, toy_graph):
+        adjacency = toy_graph.merged_adjacency()
+        sampled = sample_neighbor_adjacency(adjacency, fanout=2, rng=np.random.default_rng(0))
+        difference = sampled - adjacency.multiply(sampled)
+        assert abs(difference).nnz == 0
+
+    def test_invalid_fanout(self, toy_graph):
+        with pytest.raises(ValueError):
+            sample_neighbor_adjacency(toy_graph.merged_adjacency(), 0, np.random.default_rng(0))
+
+    def test_empty_graph(self):
+        import scipy.sparse as sp
+
+        sampled = sample_neighbor_adjacency(sp.csr_matrix((5, 5)), 3, np.random.default_rng(0))
+        assert sampled.nnz == 0
+
+
+class TestGreedyPartition:
+    def test_partition_covers_all_nodes(self, toy_graph):
+        partition = greedy_partition(toy_graph.merged_adjacency(), num_parts=4, seed=0)
+        assert partition.shape == (toy_graph.num_nodes,)
+        assert partition.min() >= 0 and partition.max() < 4
+
+    def test_partition_roughly_balanced(self, toy_graph):
+        partition = greedy_partition(toy_graph.merged_adjacency(), num_parts=4, seed=0)
+        sizes = np.bincount(partition, minlength=4)
+        assert sizes.max() <= 2 * (toy_graph.num_nodes // 4 + 1)
+
+    def test_more_parts_than_nodes(self):
+        import scipy.sparse as sp
+
+        partition = greedy_partition(sp.csr_matrix((3, 3)), num_parts=5, seed=0)
+        assert partition.shape == (3,)
+
+    def test_invalid_num_parts(self, toy_graph):
+        with pytest.raises(ValueError):
+            greedy_partition(toy_graph.merged_adjacency(), 0)
+
+    @given(num_parts=st.integers(min_value=1, max_value=6), seed=st.integers(0, 20))
+    @settings(max_examples=15, deadline=None)
+    def test_partition_property_all_assigned(self, num_parts, seed):
+        graph = make_separable_graph(num_nodes=40, seed=seed)
+        partition = greedy_partition(graph.merged_adjacency(), num_parts, seed=seed)
+        assert np.all(partition >= 0)
+        assert len(np.unique(partition)) <= num_parts

@@ -1,0 +1,74 @@
+"""Tests for saving/loading model parameters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.serialization import load_module_state, save_module_state
+from repro.nn import MLPBlock
+from repro.tensor import Module, Tensor
+from tests.conftest import make_separable_graph
+
+
+class TestModuleSerialization:
+    def test_roundtrip_restores_outputs(self, tmp_path):
+        rng = np.random.default_rng(0)
+        source = MLPBlock(6, 8, 2, np.random.default_rng(1))
+        target = MLPBlock(6, 8, 2, np.random.default_rng(2))
+        inputs = Tensor(rng.normal(size=(5, 6)))
+        assert not np.allclose(source(inputs).numpy(), target(inputs).numpy())
+
+        path = save_module_state(source, tmp_path / "weights.npz")
+        load_module_state(target, path)
+        np.testing.assert_allclose(source(inputs).numpy(), target(inputs).numpy())
+
+    def test_save_creates_parent_directories(self, tmp_path):
+        model = MLPBlock(3, 4, 2, np.random.default_rng(0))
+        path = save_module_state(model, tmp_path / "nested" / "dir" / "w.npz")
+        assert path.exists()
+
+    def test_save_empty_module_rejected(self, tmp_path):
+        class Empty(Module):
+            def forward(self, x):
+                return x
+
+        with pytest.raises(ValueError):
+            save_module_state(Empty(), tmp_path / "empty.npz")
+
+    def test_load_missing_file_rejected(self, tmp_path):
+        model = MLPBlock(3, 4, 2, np.random.default_rng(0))
+        with pytest.raises(FileNotFoundError):
+            load_module_state(model, tmp_path / "missing.npz")
+
+    def test_load_architecture_mismatch_rejected(self, tmp_path):
+        small = MLPBlock(3, 4, 2, np.random.default_rng(0))
+        large = MLPBlock(3, 16, 2, np.random.default_rng(0))
+        path = save_module_state(small, tmp_path / "small.npz")
+        with pytest.raises(ValueError):
+            load_module_state(large, path)
+
+    def test_bsg4bot_model_roundtrip(self, tmp_path):
+        """Persist a trained BSG4Bot GNN and restore it into a fresh pipeline."""
+        from repro.core import BSG4Bot, BSG4BotConfig
+        from repro.sampling import collate_subgraphs
+
+        graph = make_separable_graph(num_nodes=60, seed=20)
+        config = BSG4BotConfig(
+            pretrain_epochs=10, hidden_dim=8, pretrain_hidden_dim=8,
+            subgraph_k=3, max_epochs=3, min_epochs=1, patience=2, batch_size=16,
+        )
+        detector = BSG4Bot(config)
+        detector.fit(graph)
+        path = save_module_state(detector.model, tmp_path / "bsg4bot.npz")
+
+        clone = BSG4Bot(config)
+        clone.fit(graph)  # builds the same architecture with fresh weights
+        load_module_state(clone.model, path)
+
+        batch = collate_subgraphs(detector.store.subgraphs(graph.train_indices()[:4]), graph)
+        detector.model.eval()
+        clone.model.eval()
+        np.testing.assert_allclose(
+            detector.model(batch).numpy(), clone.model(batch).numpy(), atol=1e-10
+        )

@@ -1,0 +1,336 @@
+"""Gradient correctness tests for the autograd engine.
+
+Every differentiable operation is checked against central finite differences
+on small random inputs.  These tests are the foundation the model-level tests
+rely on: if they pass, any training failure is a modelling problem rather
+than a calculus bug.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.tensor import (
+    Tensor,
+    concat,
+    gather_rows,
+    leaky_relu,
+    log_softmax,
+    matmul,
+    relu,
+    scatter_add,
+    sigmoid,
+    softmax,
+    spmm,
+    stack,
+    tanh,
+)
+from repro.tensor.tensor import dropout
+
+RNG = np.random.default_rng(7)
+
+
+def numeric_grad(func, value: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central finite-difference gradient of a scalar-valued function."""
+    grad = np.zeros_like(value, dtype=np.float64)
+    flat = value.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        upper = func(value)
+        flat[index] = original - eps
+        lower = func(value)
+        flat[index] = original
+        grad_flat[index] = (upper - lower) / (2 * eps)
+    return grad
+
+
+def check_unary(op, value: np.ndarray, atol: float = 1e-5) -> None:
+    tensor_value = Tensor(value.copy(), requires_grad=True)
+    output = op(tensor_value)
+    loss = (output * output).sum()
+    loss.backward()
+
+    def scalar(v):
+        return float((op(Tensor(v)).numpy() ** 2).sum())
+
+    expected = numeric_grad(scalar, value.copy())
+    np.testing.assert_allclose(tensor_value.grad, expected, atol=atol)
+
+
+class TestElementwiseOps:
+    def test_add_broadcast_gradients(self):
+        a = Tensor(RNG.normal(size=(4, 3)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(3,)), requires_grad=True)
+        ((a + b) * (a + b)).sum().backward()
+        assert a.grad.shape == (4, 3)
+        assert b.grad.shape == (3,)
+        np.testing.assert_allclose(b.grad, (2 * (a.data + b.data)).sum(axis=0), atol=1e-8)
+
+    def test_mul_gradients(self):
+        a = Tensor(RNG.normal(size=(5,)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(5,)), requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, b.data)
+        np.testing.assert_allclose(b.grad, a.data)
+
+    def test_sub_and_neg(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 5.0]), requires_grad=True)
+        (a - b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+        np.testing.assert_allclose(b.grad, [-1.0, -1.0])
+
+    def test_div_gradients(self):
+        a = RNG.uniform(1.0, 2.0, size=(3, 2))
+        b = RNG.uniform(1.0, 2.0, size=(3, 2))
+        ta = Tensor(a.copy(), requires_grad=True)
+        tb = Tensor(b.copy(), requires_grad=True)
+        (ta / tb).sum().backward()
+        np.testing.assert_allclose(ta.grad, 1.0 / b, atol=1e-8)
+        np.testing.assert_allclose(tb.grad, -a / b**2, atol=1e-8)
+
+    def test_pow_gradient(self):
+        value = RNG.uniform(0.5, 2.0, size=(4,))
+        t = Tensor(value.copy(), requires_grad=True)
+        (t**3).sum().backward()
+        np.testing.assert_allclose(t.grad, 3 * value**2, atol=1e-8)
+
+    def test_pow_rejects_non_scalar_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0, 2.0]) ** np.array([1.0, 2.0])
+
+    def test_rsub_and_rdiv(self):
+        t = Tensor(np.array([2.0, 4.0]), requires_grad=True)
+        out = (1.0 - t) + (8.0 / t)
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, -1.0 - 8.0 / t.data**2)
+
+    @pytest.mark.parametrize("op", [relu, tanh, sigmoid])
+    def test_activation_gradients(self, op):
+        check_unary(op, RNG.normal(size=(6, 4)))
+
+    def test_leaky_relu_gradient(self):
+        check_unary(lambda x: leaky_relu(x, 0.1), RNG.normal(size=(5, 3)))
+
+    def test_exp_log_gradients(self):
+        check_unary(lambda x: x.exp(), RNG.normal(size=(4, 2)))
+        check_unary(lambda x: x.log(), RNG.uniform(0.5, 2.0, size=(4, 2)))
+
+    def test_clip_gradient_masks_outside_range(self):
+        t = Tensor(np.array([-2.0, 0.5, 3.0]), requires_grad=True)
+        t.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(t.grad, [0.0, 1.0, 0.0])
+
+
+class TestReductions:
+    def test_sum_all(self):
+        t = Tensor(RNG.normal(size=(3, 4)), requires_grad=True)
+        t.sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones((3, 4)))
+
+    def test_sum_axis_keepdims(self):
+        t = Tensor(RNG.normal(size=(3, 4)), requires_grad=True)
+        (t.sum(axis=1, keepdims=True) * 2.0).sum().backward()
+        np.testing.assert_allclose(t.grad, np.full((3, 4), 2.0))
+
+    def test_mean_gradient(self):
+        t = Tensor(RNG.normal(size=(5,)), requires_grad=True)
+        t.mean().backward()
+        np.testing.assert_allclose(t.grad, np.full(5, 0.2))
+
+    def test_mean_axis(self):
+        t = Tensor(RNG.normal(size=(2, 4)), requires_grad=True)
+        t.mean(axis=0).sum().backward()
+        np.testing.assert_allclose(t.grad, np.full((2, 4), 0.5))
+
+    def test_max_gradient_routes_to_argmax(self):
+        t = Tensor(np.array([[1.0, 5.0, 2.0]]), requires_grad=True)
+        t.max(axis=1).sum().backward()
+        np.testing.assert_allclose(t.grad, [[0.0, 1.0, 0.0]])
+
+    def test_max_gradient_splits_ties(self):
+        t = Tensor(np.array([[3.0, 3.0]]), requires_grad=True)
+        t.max(axis=1).sum().backward()
+        np.testing.assert_allclose(t.grad, [[0.5, 0.5]])
+
+
+class TestMatmulAndSparse:
+    def test_matmul_gradients(self):
+        a = RNG.normal(size=(4, 3))
+        b = RNG.normal(size=(3, 5))
+        ta = Tensor(a.copy(), requires_grad=True)
+        tb = Tensor(b.copy(), requires_grad=True)
+        matmul(ta, tb).sum().backward()
+        np.testing.assert_allclose(ta.grad, np.ones((4, 5)) @ b.T, atol=1e-8)
+        np.testing.assert_allclose(tb.grad, a.T @ np.ones((4, 5)), atol=1e-8)
+
+    def test_matmul_operator(self):
+        a = Tensor(RNG.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(3, 2)), requires_grad=True)
+        out = a @ b
+        assert out.shape == (2, 2)
+
+    def test_spmm_matches_dense(self):
+        dense_adj = (RNG.random((6, 6)) < 0.4).astype(float)
+        sparse_adj = sp.csr_matrix(dense_adj)
+        x = RNG.normal(size=(6, 3))
+        tx = Tensor(x.copy(), requires_grad=True)
+        out = spmm(sparse_adj, tx)
+        np.testing.assert_allclose(out.numpy(), dense_adj @ x, atol=1e-10)
+        out.sum().backward()
+        np.testing.assert_allclose(tx.grad, dense_adj.T @ np.ones((6, 3)), atol=1e-10)
+
+    def test_spmm_no_grad_for_constant_input(self):
+        sparse_adj = sp.eye(3, format="csr")
+        out = spmm(sparse_adj, Tensor(np.ones((3, 2))))
+        assert out.requires_grad is False
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_gradient(self):
+        t = Tensor(RNG.normal(size=(2, 6)), requires_grad=True)
+        t.reshape(3, 4).sum().backward()
+        assert t.grad.shape == (2, 6)
+
+    def test_transpose_gradient(self):
+        t = Tensor(RNG.normal(size=(2, 3)), requires_grad=True)
+        (t.T * 2.0).sum().backward()
+        np.testing.assert_allclose(t.grad, np.full((2, 3), 2.0))
+
+    def test_getitem_row_gradient(self):
+        t = Tensor(RNG.normal(size=(5, 3)), requires_grad=True)
+        t[np.array([0, 2, 2])].sum().backward()
+        expected = np.zeros((5, 3))
+        expected[0] = 1.0
+        expected[2] = 2.0
+        np.testing.assert_allclose(t.grad, expected)
+
+    def test_concat_gradient_split(self):
+        a = Tensor(RNG.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(2, 2)), requires_grad=True)
+        out = concat([a, b], axis=1)
+        assert out.shape == (2, 5)
+        (out * 3.0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 3), 3.0))
+        np.testing.assert_allclose(b.grad, np.full((2, 2), 3.0))
+
+    def test_stack_gradient(self):
+        a = Tensor(RNG.normal(size=(3,)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(3,)), requires_grad=True)
+        out = stack([a, b], axis=0)
+        assert out.shape == (2, 3)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(3))
+        np.testing.assert_allclose(b.grad, np.ones(3))
+
+    def test_gather_rows_gradient_accumulates(self):
+        t = Tensor(RNG.normal(size=(4, 2)), requires_grad=True)
+        gather_rows(t, np.array([1, 1, 3])).sum().backward()
+        expected = np.zeros((4, 2))
+        expected[1] = 2.0
+        expected[3] = 1.0
+        np.testing.assert_allclose(t.grad, expected)
+
+    def test_scatter_add_forward_and_gradient(self):
+        src = Tensor(np.array([[1.0], [2.0], [3.0]]), requires_grad=True)
+        out = scatter_add(src, np.array([0, 0, 1]), num_segments=2)
+        np.testing.assert_allclose(out.numpy(), [[3.0], [3.0]])
+        (out * np.array([[2.0], [5.0]])).sum().backward()
+        np.testing.assert_allclose(src.grad, [[2.0], [2.0], [5.0]])
+
+
+class TestSoftmaxAndLosses:
+    def test_softmax_rows_sum_to_one(self):
+        t = Tensor(RNG.normal(size=(4, 6)))
+        np.testing.assert_allclose(softmax(t, axis=-1).numpy().sum(axis=1), np.ones(4), atol=1e-12)
+
+    def test_softmax_gradient_matches_numeric(self):
+        value = RNG.normal(size=(3, 4))
+
+        def scalar(v):
+            out = softmax(Tensor(v), axis=-1).numpy()
+            return float((out**2).sum())
+
+        t = Tensor(value.copy(), requires_grad=True)
+        out = softmax(t, axis=-1)
+        (out * out).sum().backward()
+        np.testing.assert_allclose(t.grad, numeric_grad(scalar, value.copy()), atol=1e-5)
+
+    def test_log_softmax_gradient_matches_numeric(self):
+        value = RNG.normal(size=(3, 3))
+
+        def scalar(v):
+            out = log_softmax(Tensor(v), axis=-1).numpy()
+            return float((out**2).sum())
+
+        t = Tensor(value.copy(), requires_grad=True)
+        out = log_softmax(t, axis=-1)
+        (out * out).sum().backward()
+        np.testing.assert_allclose(t.grad, numeric_grad(scalar, value.copy()), atol=1e-5)
+
+    def test_log_softmax_is_log_of_softmax(self):
+        t = Tensor(RNG.normal(size=(5, 3)))
+        np.testing.assert_allclose(
+            log_softmax(t).numpy(), np.log(softmax(t).numpy()), atol=1e-10
+        )
+
+
+class TestDropoutAndGraphMechanics:
+    def test_dropout_eval_is_identity(self):
+        rng = np.random.default_rng(0)
+        t = Tensor(RNG.normal(size=(10, 10)))
+        out = dropout(t, 0.5, rng, training=False)
+        np.testing.assert_allclose(out.numpy(), t.numpy())
+
+    def test_dropout_preserves_expectation(self):
+        rng = np.random.default_rng(0)
+        t = Tensor(np.ones((200, 200)))
+        out = dropout(t, 0.3, rng, training=True)
+        assert abs(out.numpy().mean() - 1.0) < 0.05
+
+    def test_dropout_zero_rate_is_identity(self):
+        rng = np.random.default_rng(0)
+        t = Tensor(RNG.normal(size=(4, 4)), requires_grad=True)
+        out = dropout(t, 0.0, rng, training=True)
+        assert out is t
+
+    def test_backward_requires_scalar(self):
+        t = Tensor(RNG.normal(size=(3,)), requires_grad=True)
+        with pytest.raises(ValueError):
+            (t * 2).backward()
+
+    def test_gradient_accumulates_across_backward_calls(self):
+        t = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        (t * 2).sum().backward()
+        (t * 3).sum().backward()
+        np.testing.assert_allclose(t.grad, [5.0, 5.0])
+
+    def test_zero_grad_clears(self):
+        t = Tensor(np.array([1.0]), requires_grad=True)
+        (t * 2).sum().backward()
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_detach_cuts_graph(self):
+        t = Tensor(np.array([2.0]), requires_grad=True)
+        detached = t.detach()
+        assert detached.requires_grad is False
+        (detached * 3).sum().backward()
+        assert t.grad is None
+
+    def test_diamond_graph_gradient(self):
+        # y = (x*2) + (x*3): gradient must combine both paths.
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x * 2 + x * 3
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [5.0])
+
+    def test_shared_subexpression_gradient(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        shared = x * x
+        (shared + shared).sum().backward()
+        np.testing.assert_allclose(x.grad, [8.0])

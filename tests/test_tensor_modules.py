@@ -1,0 +1,246 @@
+"""Tests for Module/Parameter containers, losses, initialisers and optimisers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Dropout, Linear, MLPBlock
+from repro.tensor import (
+    SGD,
+    Adam,
+    Module,
+    Parameter,
+    Tensor,
+    binary_cross_entropy,
+    cross_entropy,
+    glorot_uniform,
+    he_uniform,
+    l2_penalty,
+    softmax,
+    zeros_init,
+)
+
+RNG = np.random.default_rng(3)
+
+
+class _TinyModel(Module):
+    def __init__(self):
+        super().__init__()
+        rng = np.random.default_rng(0)
+        self.layer = Linear(4, 3, rng)
+        self.head = Linear(3, 2, rng)
+        self.extra = [Linear(2, 2, rng)]
+        self.lookup = {"aux": Linear(2, 2, rng)}
+
+    def forward(self, x):
+        return self.head(self.layer(x))
+
+
+class TestModuleContainer:
+    def test_parameters_discovered_recursively(self):
+        model = _TinyModel()
+        params = model.parameters()
+        # 4 Linear layers x (weight + bias) = 8 parameters.
+        assert len(params) == 8
+        assert all(isinstance(p, Parameter) for p in params)
+
+    def test_named_parameters_paths(self):
+        model = _TinyModel()
+        names = set(model.named_parameters())
+        assert "layer.weight" in names
+        assert "extra.0.weight" in names
+        assert "lookup.aux.bias" in names
+
+    def test_parameters_not_duplicated(self):
+        model = _TinyModel()
+        shared = model.layer
+        model.alias = shared  # same module referenced twice
+        params = model.parameters()
+        assert len(params) == len({id(p) for p in params})
+
+    def test_train_eval_propagates(self):
+        model = _TinyModel()
+        model.eval()
+        assert model.layer.training is False
+        assert model.lookup["aux"].training is False
+        model.train()
+        assert model.extra[0].training is True
+
+    def test_zero_grad_clears_all(self):
+        model = _TinyModel()
+        out = model(Tensor(RNG.normal(size=(5, 4))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_state_dict_roundtrip(self):
+        model_a = _TinyModel()
+        model_b = _TinyModel()
+        model_b.layer.weight.data += 1.0
+        state = model_a.state_dict()
+        model_b.load_state_dict(state)
+        np.testing.assert_allclose(model_b.layer.weight.data, model_a.layer.weight.data)
+
+    def test_load_state_dict_rejects_unknown_key(self):
+        model = _TinyModel()
+        with pytest.raises(KeyError):
+            model.load_state_dict({"nope": np.zeros((2, 2))})
+
+    def test_load_state_dict_rejects_bad_shape(self):
+        model = _TinyModel()
+        state = model.state_dict()
+        state["layer.weight"] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_num_parameters_counts_scalars(self):
+        model = _TinyModel()
+        expected = sum(p.size for p in model.parameters())
+        assert model.num_parameters() == expected
+
+
+class TestInitialisers:
+    def test_glorot_bounds(self):
+        rng = np.random.default_rng(0)
+        weight = glorot_uniform(rng, 100, 50)
+        limit = np.sqrt(6.0 / 150)
+        assert weight.shape == (100, 50)
+        assert np.all(np.abs(weight.numpy()) <= limit)
+
+    def test_he_bounds(self):
+        rng = np.random.default_rng(0)
+        weight = he_uniform(rng, 64, 8)
+        assert np.all(np.abs(weight.numpy()) <= np.sqrt(6.0 / 64))
+
+    def test_zeros_init(self):
+        bias = zeros_init(7)
+        assert bias.requires_grad
+        np.testing.assert_allclose(bias.numpy(), np.zeros(7))
+
+    def test_initialisation_is_seeded(self):
+        a = glorot_uniform(np.random.default_rng(5), 10, 10).numpy()
+        b = glorot_uniform(np.random.default_rng(5), 10, 10).numpy()
+        np.testing.assert_allclose(a, b)
+
+
+class TestLosses:
+    def test_cross_entropy_matches_manual(self):
+        logits = Tensor(np.array([[2.0, 0.0], [0.0, 3.0]]))
+        labels = np.array([0, 1])
+        loss = cross_entropy(logits, labels).item()
+        probs = softmax(logits).numpy()
+        manual = -np.mean(np.log(probs[np.arange(2), labels]))
+        assert abs(loss - manual) < 1e-10
+
+    def test_cross_entropy_perfect_prediction_near_zero(self):
+        logits = Tensor(np.array([[20.0, -20.0], [-20.0, 20.0]]))
+        loss = cross_entropy(logits, np.array([0, 1])).item()
+        assert loss < 1e-6
+
+    def test_cross_entropy_class_weight_changes_loss(self):
+        logits = Tensor(np.array([[1.0, 0.0], [1.0, 0.0]]))
+        labels = np.array([0, 1])
+        unweighted = cross_entropy(logits, labels).item()
+        weighted = cross_entropy(logits, labels, weight=np.array([1.0, 10.0])).item()
+        assert weighted > unweighted
+
+    def test_cross_entropy_gradient_shape(self):
+        logits = Tensor(RNG.normal(size=(6, 2)), requires_grad=True)
+        cross_entropy(logits, np.array([0, 1, 0, 1, 1, 0])).backward()
+        assert logits.grad.shape == (6, 2)
+
+    def test_binary_cross_entropy_bounds(self):
+        probs = Tensor(np.array([0.9, 0.1]))
+        loss = binary_cross_entropy(probs, np.array([1.0, 0.0])).item()
+        assert 0 < loss < 0.2
+
+    def test_binary_cross_entropy_clips_extremes(self):
+        probs = Tensor(np.array([1.0, 0.0]))
+        loss = binary_cross_entropy(probs, np.array([0.0, 1.0])).item()
+        assert np.isfinite(loss)
+
+    def test_l2_penalty_positive_and_scaled(self):
+        params = [Tensor(np.array([3.0, 4.0]), requires_grad=True)]
+        assert abs(l2_penalty(params, 0.1).item() - 2.5) < 1e-10
+
+    def test_l2_penalty_empty_is_zero(self):
+        assert l2_penalty([], 0.5).item() == 0.0
+
+
+def _fit_regression(optimizer_factory, steps=300):
+    """Fit y = 2x + 1 with a single linear layer under the given optimiser."""
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(64, 1))
+    y = 2.0 * x + 1.0
+    layer = Linear(1, 1, np.random.default_rng(1))
+    optimizer = optimizer_factory(layer.parameters())
+    for _ in range(steps):
+        optimizer.zero_grad()
+        prediction = layer(Tensor(x))
+        loss = ((prediction - Tensor(y)) ** 2).mean()
+        loss.backward()
+        optimizer.step()
+    return layer, float(loss.item())
+
+
+class TestOptimisers:
+    def test_sgd_converges_on_regression(self):
+        layer, loss = _fit_regression(lambda p: SGD(p, lr=0.1), steps=400)
+        assert loss < 1e-3
+        assert abs(layer.weight.data[0, 0] - 2.0) < 0.05
+
+    def test_sgd_momentum_converges(self):
+        _, loss = _fit_regression(lambda p: SGD(p, lr=0.05, momentum=0.9), steps=300)
+        assert loss < 1e-3
+
+    def test_adam_converges_on_regression(self):
+        layer, loss = _fit_regression(lambda p: Adam(p, lr=0.05), steps=400)
+        assert loss < 1e-3
+        assert abs(layer.bias.data[0] - 1.0) < 0.05
+
+    def test_weight_decay_shrinks_weights(self):
+        param = Parameter(np.array([10.0]))
+        optimizer = SGD([param], lr=0.1, weight_decay=1.0)
+        param.grad = np.array([0.0])
+        optimizer.step()
+        assert param.data[0] < 10.0
+
+    def test_optimizer_requires_parameters(self):
+        with pytest.raises(ValueError):
+            Adam([])
+
+    def test_step_skips_parameters_without_grad(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = Adam([param], lr=0.1)
+        optimizer.step()  # no gradient recorded: should be a no-op
+        np.testing.assert_allclose(param.data, [1.0])
+
+
+class TestDenseLayers:
+    def test_linear_shapes_and_bias(self):
+        layer = Linear(6, 4, np.random.default_rng(0))
+        out = layer(Tensor(RNG.normal(size=(10, 6))))
+        assert out.shape == (10, 4)
+
+    def test_linear_without_bias(self):
+        layer = Linear(3, 2, np.random.default_rng(0), bias=False)
+        assert layer.bias is None
+        out = layer(Tensor(np.zeros((4, 3))))
+        np.testing.assert_allclose(out.numpy(), np.zeros((4, 2)))
+
+    def test_mlp_block_hidden_dim(self):
+        block = MLPBlock(5, 7, 2, np.random.default_rng(0))
+        hidden = block.hidden(Tensor(RNG.normal(size=(3, 5))))
+        assert hidden.shape == (3, 7)
+        out = block(Tensor(RNG.normal(size=(3, 5))))
+        assert out.shape == (3, 2)
+
+    def test_dropout_respects_training_flag(self):
+        dropout_layer = Dropout(0.9, np.random.default_rng(0))
+        dropout_layer.eval()
+        x = Tensor(np.ones((5, 5)))
+        np.testing.assert_allclose(dropout_layer(x).numpy(), np.ones((5, 5)))
+        dropout_layer.train()
+        assert dropout_layer(x).numpy().mean() != pytest.approx(1.0, abs=1e-6)

@@ -1,0 +1,98 @@
+"""Hypothesis property tests for the autograd engine.
+
+These complement the example-based gradient checks in
+``test_tensor_autograd.py`` with invariants that must hold for arbitrary
+shapes and values: softmax normalisation, gradient shape preservation,
+linearity of the backward pass, and agreement between analytic gradients and
+finite differences on randomly drawn inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import Tensor, concat, log_softmax, matmul, softmax
+
+SHAPES = st.tuples(st.integers(1, 6), st.integers(1, 6))
+
+
+def arrays(shape, lo=-5.0, hi=5.0):
+    rows, cols = shape
+    return st.lists(
+        st.lists(st.floats(lo, hi, allow_nan=False), min_size=cols, max_size=cols),
+        min_size=rows,
+        max_size=rows,
+    ).map(np.array)
+
+
+class TestSoftmaxProperties:
+    @given(SHAPES.flatmap(arrays))
+    @settings(max_examples=40, deadline=None)
+    def test_rows_sum_to_one_and_positive(self, values):
+        probabilities = softmax(Tensor(values), axis=-1).numpy()
+        np.testing.assert_allclose(probabilities.sum(axis=-1), 1.0, atol=1e-9)
+        assert np.all(probabilities >= 0)
+
+    @given(SHAPES.flatmap(arrays), st.floats(-10.0, 10.0, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_shift_invariance(self, values, shift):
+        base = softmax(Tensor(values), axis=-1).numpy()
+        shifted = softmax(Tensor(values + shift), axis=-1).numpy()
+        np.testing.assert_allclose(base, shifted, atol=1e-9)
+
+    @given(SHAPES.flatmap(arrays))
+    @settings(max_examples=40, deadline=None)
+    def test_log_softmax_upper_bounded_by_zero(self, values):
+        log_probs = log_softmax(Tensor(values), axis=-1).numpy()
+        assert np.all(log_probs <= 1e-12)
+
+
+class TestGradientProperties:
+    @given(SHAPES.flatmap(arrays))
+    @settings(max_examples=40, deadline=None)
+    def test_gradient_shape_matches_input(self, values):
+        t = Tensor(values, requires_grad=True)
+        (softmax(t) * t).sum().backward()
+        assert t.grad.shape == values.shape
+        assert np.all(np.isfinite(t.grad))
+
+    @given(SHAPES.flatmap(arrays))
+    @settings(max_examples=40, deadline=None)
+    def test_sum_gradient_is_ones(self, values):
+        t = Tensor(values, requires_grad=True)
+        t.sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones_like(values))
+
+    @given(SHAPES.flatmap(arrays), st.floats(-3.0, 3.0, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_backward_is_linear_in_scale(self, values, scale):
+        first = Tensor(values, requires_grad=True)
+        (first * 1.0).sum().backward()
+        second = Tensor(values, requires_grad=True)
+        (second * scale).sum().backward()
+        np.testing.assert_allclose(second.grad, scale * first.grad, atol=1e-9)
+
+    @given(st.integers(1, 5), st.integers(1, 5), st.integers(1, 5), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_matmul_gradient_matches_finite_difference(self, n, k, m, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(n, k))
+        b = rng.normal(size=(k, m))
+        weights = rng.normal(size=(n, m))
+        ta = Tensor(a.copy(), requires_grad=True)
+        (matmul(ta, Tensor(b)) * Tensor(weights)).sum().backward()
+        expected = weights @ b.T
+        np.testing.assert_allclose(ta.grad, expected, atol=1e-8)
+
+    @given(SHAPES.flatmap(arrays), SHAPES.flatmap(arrays))
+    @settings(max_examples=30, deadline=None)
+    def test_concat_gradient_partitions(self, left, right):
+        if left.shape[0] != right.shape[0]:
+            right = np.resize(right, (left.shape[0], right.shape[1]))
+        a = Tensor(left, requires_grad=True)
+        b = Tensor(right, requires_grad=True)
+        concat([a, b], axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones_like(left))
+        np.testing.assert_allclose(b.grad, np.ones_like(right))

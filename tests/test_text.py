@@ -1,0 +1,156 @@
+"""Tests for the tokenizer, the pseudo text encoder and K-Means."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text import KMeans, PseudoTextEncoder, simple_tokenize
+from repro.datasets.topics import TOPIC_KEYWORDS, compose_tweet
+
+
+class TestTokenizer:
+    def test_lowercases_and_splits(self):
+        assert simple_tokenize("Hello World") == ["hello", "world"]
+
+    def test_keeps_mentions_and_hashtags(self):
+        tokens = simple_tokenize("@user check #crypto now!")
+        assert "@user" in tokens
+        assert "#crypto" in tokens
+
+    def test_strips_punctuation(self):
+        assert simple_tokenize("wow!!! really???") == ["wow", "really"]
+
+    def test_empty_string(self):
+        assert simple_tokenize("") == []
+
+    def test_numbers_preserved(self):
+        assert "2024" in simple_tokenize("season 2024 finale")
+
+
+class TestPseudoTextEncoder:
+    def test_output_dimension(self):
+        encoder = PseudoTextEncoder(dim=48)
+        assert encoder.encode("hello world").shape == (48,)
+
+    def test_deterministic_across_instances(self):
+        a = PseudoTextEncoder(dim=32, seed=1).encode("bitcoin airdrop now")
+        b = PseudoTextEncoder(dim=32, seed=1).encode("bitcoin airdrop now")
+        np.testing.assert_allclose(a, b)
+
+    def test_seed_changes_embedding(self):
+        a = PseudoTextEncoder(dim=32, seed=1).encode("bitcoin airdrop now")
+        b = PseudoTextEncoder(dim=32, seed=2).encode("bitcoin airdrop now")
+        assert not np.allclose(a, b)
+
+    def test_empty_text_is_zero_vector(self):
+        encoder = PseudoTextEncoder(dim=16)
+        np.testing.assert_allclose(encoder.encode("!!!"), np.zeros(16))
+
+    def test_embeddings_are_unit_norm(self):
+        encoder = PseudoTextEncoder(dim=32)
+        vector = encoder.encode("stocks market earnings")
+        assert np.linalg.norm(vector) == pytest.approx(1.0, abs=1e-9)
+
+    def test_same_topic_closer_than_different_topic(self):
+        encoder = PseudoTextEncoder(dim=64, seed=0)
+        rng = np.random.default_rng(0)
+        crypto_a = encoder.encode(compose_tweet("crypto", rng))
+        crypto_b = encoder.encode(compose_tweet("crypto", rng))
+        sports = encoder.encode(compose_tweet("sports", rng))
+        same = float(crypto_a @ crypto_b)
+        different = float(crypto_a @ sports)
+        assert same > different
+
+    def test_encode_batch_shape(self):
+        encoder = PseudoTextEncoder(dim=16)
+        batch = encoder.encode_batch(["a b c", "d e", "f"])
+        assert batch.shape == (3, 16)
+
+    def test_encode_batch_empty(self):
+        encoder = PseudoTextEncoder(dim=16)
+        assert encoder.encode_batch([]).shape == (0, 16)
+
+    def test_encode_user_averages(self):
+        encoder = PseudoTextEncoder(dim=16)
+        vector = encoder.encode_user(["hello world", "hello world"])
+        np.testing.assert_allclose(vector, encoder.encode("hello world"), atol=1e-12)
+
+    def test_invalid_dim_rejected(self):
+        with pytest.raises(ValueError):
+            PseudoTextEncoder(dim=0)
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self):
+        rng = np.random.default_rng(0)
+        blob_a = rng.normal(loc=0.0, scale=0.2, size=(50, 2))
+        blob_b = rng.normal(loc=5.0, scale=0.2, size=(50, 2))
+        points = np.vstack([blob_a, blob_b])
+        assignments = KMeans(n_clusters=2, seed=0).fit_predict(points)
+        # All points in each blob share one cluster id.
+        assert len(set(assignments[:50])) == 1
+        assert len(set(assignments[50:])) == 1
+        assert assignments[0] != assignments[-1]
+
+    def test_predict_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            KMeans(n_clusters=2).predict(np.zeros((3, 2)))
+
+    def test_rejects_more_clusters_than_points(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=10).fit(np.zeros((3, 2)))
+
+    def test_rejects_nonpositive_clusters(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=0)
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(1)
+        points = rng.normal(size=(60, 3))
+        a = KMeans(n_clusters=4, seed=7).fit_predict(points)
+        b = KMeans(n_clusters=4, seed=7).fit_predict(points)
+        np.testing.assert_array_equal(a, b)
+
+    def test_inertia_decreases_with_more_clusters(self):
+        rng = np.random.default_rng(2)
+        points = rng.normal(size=(80, 4))
+        few = KMeans(n_clusters=2, seed=0).fit(points)
+        many = KMeans(n_clusters=8, seed=0).fit(points)
+        assert many.inertia_ <= few.inertia_
+
+    @given(
+        n_points=st.integers(min_value=10, max_value=60),
+        n_clusters=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_assignment_labels_in_range(self, n_points, n_clusters, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(n_points, 3))
+        if n_points < n_clusters:
+            return
+        assignments = KMeans(n_clusters=n_clusters, seed=seed).fit_predict(points)
+        assert assignments.shape == (n_points,)
+        assert assignments.min() >= 0
+        assert assignments.max() < n_clusters
+
+    def test_centroid_count(self):
+        rng = np.random.default_rng(3)
+        model = KMeans(n_clusters=5, seed=0).fit(rng.normal(size=(40, 2)))
+        assert model.centroids.shape == (5, 2)
+
+
+class TestTopics:
+    def test_compose_tweet_contains_topic_keyword(self):
+        rng = np.random.default_rng(0)
+        for topic in ("crypto", "sports", "news"):
+            tweet = compose_tweet(topic, rng)
+            assert any(word in tweet for word in TOPIC_KEYWORDS[topic])
+
+    def test_compose_tweet_with_mention(self):
+        rng = np.random.default_rng(0)
+        tweet = compose_tweet("memes", rng, mention="someone")
+        assert tweet.startswith("@someone")
