@@ -11,6 +11,7 @@ multiple models.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import pytest
@@ -18,6 +19,25 @@ import pytest
 from repro.experiments.settings import ExperimentScale
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Subgraph stores are content-addressed (graph + embeddings + builder
+#: config), so one shared directory lets figure benchmarks that train the
+#: same BSG4Bot configuration reuse each other's stores instead of
+#: rebuilding them.
+STORE_CACHE_DIR = Path(__file__).parent / ".store_cache"
+os.environ.setdefault("REPRO_SUBGRAPH_CACHE", str(STORE_CACHE_DIR))
+
+
+def pytest_collection_modifyitems(config, items) -> None:
+    """Mark every figure/table benchmark as ``slow``.
+
+    Tier-1 verification can then run ``pytest -m "not slow"`` and finish in
+    minutes, while the full suite still exercises the benchmarks.
+    """
+    benchmarks_dir = Path(__file__).parent
+    for item in items:
+        if benchmarks_dir in Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.slow)
 
 #: Scale used by the benchmark suite: large enough for the paper's shape to
 #: emerge, small enough that the full suite runs on a laptop CPU.

@@ -38,7 +38,7 @@ def homophily_report(graph) -> None:
     original = node_homophily_ratios(graph.merged_adjacency(), graph.labels)
     bots = np.flatnonzero(graph.labels == 1)[:60]
     subgraph_h = np.nanmean(
-        [builder.build(int(b)).center_homophily(graph.labels) for b in bots]
+        [subgraph.center_homophily(graph.labels) for subgraph in builder.build_batch(bots)]
     )
     print(
         f"  bot homophily: original graph {np.nanmean(original[bots]):.3f} "

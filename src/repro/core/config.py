@@ -27,6 +27,8 @@ class BSG4BotConfig:
     ppr_epsilon: float = 1e-4
     mix_lambda: float = 0.5
     use_biased_subgraphs: bool = True  # False -> PPR-only subgraphs (Table V)
+    subgraph_workers: int = 1  # >1 shards batched construction over processes
+    store_cache_dir: Optional[str] = None  # reuse stores across experiment runs
 
     # Heterogeneous subgraph learning (Section III-E).
     hidden_dim: int = 32
@@ -62,3 +64,5 @@ class BSG4BotConfig:
             raise ValueError("dropout must be in [0, 1)")
         if self.batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if self.subgraph_workers <= 0:
+            raise ValueError("subgraph_workers must be positive")

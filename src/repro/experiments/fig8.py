@@ -61,9 +61,8 @@ def run(
         nodes = np.concatenate([bots[:n_bots], humans[: max_nodes - n_bots]])
 
     subgraph_ratios = np.full(graph.num_nodes, np.nan)
-    for node in nodes:
-        subgraph = builder.build(int(node))
-        subgraph_ratios[node] = subgraph.center_homophily(labels)
+    for subgraph in builder.build_batch(nodes):
+        subgraph_ratios[subgraph.center] = subgraph.center_homophily(labels)
 
     def summary(ratios: np.ndarray, mask: np.ndarray) -> float:
         values = ratios[mask]

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Iterable, List, Optional
 
 import numpy as np
@@ -69,6 +70,11 @@ def make_detector(name: str, scale: ExperimentScale = SMALL, seed: int = 0, **ov
             patience=scale.patience,
             batch_size=scale.batch_size,
             seed=seed,
+            # Experiment scripts that share a benchmark + seed produce the
+            # same pre-classifier embeddings, so their subgraph stores are
+            # identical; pointing every run at one content-addressed cache
+            # directory lets later figures reuse earlier stores.
+            store_cache_dir=os.environ.get("REPRO_SUBGRAPH_CACHE") or None,
         )
         for field_name, value in overrides.items():
             config = config.with_overrides(**{field_name: value})

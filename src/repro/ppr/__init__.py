@@ -9,5 +9,12 @@ residuals fall below a threshold, touching only a local neighbourhood.
 
 from repro.ppr.push import approximate_ppr, topk_ppr_neighbors
 from repro.ppr.power import power_iteration_ppr
+from repro.ppr.batch import PushOperator, multi_source_ppr
 
-__all__ = ["approximate_ppr", "topk_ppr_neighbors", "power_iteration_ppr"]
+__all__ = [
+    "approximate_ppr",
+    "topk_ppr_neighbors",
+    "power_iteration_ppr",
+    "multi_source_ppr",
+    "PushOperator",
+]

@@ -9,7 +9,9 @@ pass — this is the "training in a batch manner" of Section III-F.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -176,6 +178,76 @@ class SubgraphStore:
         if nodes is None:
             return list(self._store.values())
         return [self._store[int(node)] for node in nodes]
+
+    # ------------------------------------------------------------------
+    # Disk serialization — lets experiment scripts reuse a store instead of
+    # rebuilding the same subgraphs for every figure/table.
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Serialize all stored subgraphs to one ``.npz`` file.
+
+        The ragged per-subgraph arrays are packed as flat data + offset
+        arrays, so the file round-trips through plain ``np.savez`` without
+        pickling.
+        """
+        subgraphs = list(self._store.values())
+        relation_names = sorted({name for sg in subgraphs for name in sg.relation_edges})
+        empty = np.empty(0, dtype=np.int64)
+
+        def pack(arrays: List[np.ndarray]):
+            offsets = np.zeros(len(arrays) + 1, dtype=np.int64)
+            if arrays:
+                offsets[1:] = np.cumsum([a.size for a in arrays])
+            data = np.concatenate(arrays) if arrays else empty
+            return data.astype(np.int64), offsets
+
+        payload: Dict[str, np.ndarray] = {
+            "centers": np.array([sg.center for sg in subgraphs], dtype=np.int64),
+            "relation_names": np.array(relation_names, dtype=np.str_),
+        }
+        payload["nodes"], payload["node_offsets"] = pack([sg.nodes for sg in subgraphs])
+        for index, name in enumerate(relation_names):
+            edges = [
+                sg.relation_edges.get(name, (empty, empty)) for sg in subgraphs
+            ]
+            payload[f"src_{index}"], payload[f"edge_offsets_{index}"] = pack(
+                [np.asarray(src) for src, _ in edges]
+            )
+            payload[f"dst_{index}"], _ = pack([np.asarray(dst) for _, dst in edges])
+        # Write-then-rename so an interrupted save never leaves a truncated
+        # archive behind for later runs to choke on.
+        path = Path(path)
+        temporary = path.with_name(path.name + ".tmp.npz")
+        with open(temporary, "wb") as handle:
+            np.savez_compressed(handle, **payload)
+        os.replace(temporary, path)
+
+    @classmethod
+    def load(cls, path, graph: HeteroGraph) -> "SubgraphStore":
+        """Rebuild a store saved with :meth:`save` against ``graph``."""
+        with np.load(path) as payload:
+            centers = payload["centers"]
+            relation_names = [str(name) for name in payload["relation_names"]]
+            nodes_flat, node_offsets = payload["nodes"], payload["node_offsets"]
+            edge_data = {
+                name: (
+                    payload[f"src_{index}"],
+                    payload[f"dst_{index}"],
+                    payload[f"edge_offsets_{index}"],
+                )
+                for index, name in enumerate(relation_names)
+            }
+            store = cls(graph)
+            for row, center in enumerate(centers):
+                nodes = nodes_flat[node_offsets[row] : node_offsets[row + 1]]
+                relation_edges = {}
+                for name, (src, dst, offsets) in edge_data.items():
+                    lo, hi = offsets[row], offsets[row + 1]
+                    relation_edges[name] = (src[lo:hi].copy(), dst[lo:hi].copy())
+                store.add(
+                    Subgraph(center=int(center), nodes=nodes.copy(), relation_edges=relation_edges)
+                )
+        return store
 
     def batches(
         self,

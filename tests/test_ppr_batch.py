@@ -1,0 +1,110 @@
+"""Tests for the multi-source (batched) PPR engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.ppr import approximate_ppr, multi_source_ppr, power_iteration_ppr
+
+
+def random_graph(num_nodes: int, density: float, seed: int) -> sp.csr_matrix:
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((num_nodes, num_nodes)) < density).astype(float)
+    np.fill_diagonal(dense, 0)
+    return sp.csr_matrix(dense)
+
+
+class TestMultiSourcePPR:
+    def test_shape_and_row_order(self):
+        adjacency = random_graph(20, 0.3, seed=0)
+        sources = [5, 2, 11]
+        scores = multi_source_ppr(adjacency, sources)
+        assert scores.shape == (3, 20)
+        for row, source in enumerate(sources):
+            dense = scores.getrow(row).toarray().ravel()
+            assert dense.argmax() == source
+
+    def test_agrees_with_single_source_push(self):
+        """Batched rows stay within the shared epsilon residual bound of the
+        queue-based single-source push."""
+        adjacency = random_graph(40, 0.15, seed=1)
+        sources = np.arange(40)
+        scores = multi_source_ppr(adjacency, sources, alpha=0.2, epsilon=1e-5)
+        for source in sources:
+            estimates = approximate_ppr(adjacency, int(source), alpha=0.2, epsilon=1e-5)
+            single = np.zeros(40)
+            for node, value in estimates.items():
+                single[node] = value
+            batched = scores.getrow(source).toarray().ravel()
+            assert np.abs(batched - single).max() < 1e-3
+
+    def test_close_to_exact_power_iteration(self):
+        adjacency = random_graph(30, 0.2, seed=2)
+        scores = multi_source_ppr(adjacency, [0, 7, 19], alpha=0.15, epsilon=1e-7)
+        for row, source in enumerate([0, 7, 19]):
+            exact = power_iteration_ppr(adjacency, source, alpha=0.15)
+            batched = scores.getrow(row).toarray().ravel()
+            assert np.abs(batched - exact).max() < 1e-3
+
+    def test_single_source_call_matches_batch_row(self):
+        """A 1-source call is bit-identical to the same row of a larger batch
+        (rows evolve independently), which is what makes the per-node and
+        batched subgraph engines select identical neighbour sets."""
+        adjacency = random_graph(25, 0.25, seed=3)
+        batch = multi_source_ppr(adjacency, np.arange(25), epsilon=1e-4)
+        for source in (0, 9, 24):
+            single = multi_source_ppr(adjacency, [source], epsilon=1e-4)
+            assert (batch.getrow(source) != single.getrow(0)).nnz == 0
+
+    def test_chunking_does_not_change_results(self):
+        adjacency = random_graph(30, 0.2, seed=4)
+        whole = multi_source_ppr(adjacency, np.arange(30))
+        chunked = multi_source_ppr(adjacency, np.arange(30), chunk_rows=7)
+        assert (whole != chunked).nnz == 0
+
+    def test_dangling_mass_returns_to_source(self):
+        adjacency = sp.csr_matrix(np.array([[0, 1, 0], [0, 0, 1], [0, 0, 0]], dtype=float))
+        scores = multi_source_ppr(adjacency, [0, 1, 2], alpha=0.2, epsilon=1e-9)
+        for row in range(3):
+            exact = power_iteration_ppr(adjacency, row, alpha=0.2)
+            batched = scores.getrow(row).toarray().ravel()
+            assert np.abs(batched - exact).max() < 1e-6
+
+    def test_mass_bounded_by_one(self):
+        adjacency = random_graph(30, 0.2, seed=5)
+        scores = multi_source_ppr(adjacency, np.arange(30), epsilon=1e-5)
+        row_sums = np.asarray(scores.sum(axis=1)).ravel()
+        assert np.all(row_sums > 0)
+        assert np.all(row_sums <= 1.0 + 1e-9)
+
+    def test_disconnected_components_stay_local(self):
+        block = np.array([[0, 1, 1], [1, 0, 1], [1, 1, 0]], dtype=float)
+        adjacency = sp.block_diag([block, block]).tocsr()
+        scores = multi_source_ppr(adjacency, [0], epsilon=1e-8)
+        touched = scores.getrow(0).indices
+        assert np.all(touched < 3)
+
+    def test_empty_sources(self):
+        adjacency = random_graph(10, 0.3, seed=6)
+        scores = multi_source_ppr(adjacency, [])
+        assert scores.shape == (0, 10)
+
+    def test_prepared_operator_matches_direct_call(self):
+        from repro.ppr import PushOperator
+
+        adjacency = random_graph(25, 0.25, seed=8)
+        operator = PushOperator(adjacency)
+        direct = multi_source_ppr(adjacency, np.arange(25))
+        prepared = multi_source_ppr(adjacency, np.arange(25), prepared=operator)
+        assert (direct != prepared).nnz == 0
+
+    def test_invalid_arguments_rejected(self):
+        adjacency = random_graph(10, 0.3, seed=7)
+        with pytest.raises(ValueError):
+            multi_source_ppr(adjacency, [0], alpha=1.5)
+        with pytest.raises(ValueError):
+            multi_source_ppr(adjacency, [0], epsilon=0.0)
+        with pytest.raises(ValueError):
+            multi_source_ppr(adjacency, [12])
