@@ -4,11 +4,13 @@
 trained over batches of biased subgraphs (classifying each subgraph's start
 node) instead of over the full graph.  The improvement over the corresponding
 full-graph baseline measures the value of the subgraph construction alone.
+Training runs through the same vectorized epoch engine as BSG4Bot
+(:func:`repro.core.trainer.train_subgraph_classifier` over the store's
+cached flat collation), consuming the unchanged ``SubgraphBatch`` contract.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -18,12 +20,16 @@ from repro.core.base import BotDetector
 from repro.core.config import BSG4BotConfig
 from repro.core.metrics import accuracy_score, f1_score
 from repro.core.preclassifier import PretrainedClassifier
-from repro.core.trainer import EarlyStopping, TrainingHistory
+from repro.core.trainer import (
+    TrainingHistory,
+    predict_subgraph_proba,
+    train_subgraph_classifier,
+)
 from repro.graph import HeteroGraph
 from repro.nn import Dropout, GATConv, GCNConv, Linear, RGCNConv
-from repro.sampling import BiasedSubgraphBuilder, SubgraphStore, collate_subgraphs
+from repro.sampling import BiasedSubgraphBuilder, SubgraphStore
 from repro.sampling.subgraph import SubgraphBatch
-from repro.tensor import Adam, Module, Tensor, cross_entropy, l2_penalty, leaky_relu, relu, softmax
+from repro.tensor import Module, Tensor, leaky_relu, relu
 
 
 class _SubgraphGCNBackbone(Module):
@@ -139,6 +145,7 @@ class BiasedSubgraphPluginDetector(BotDetector):
         train_nodes = graph.train_indices()
         val_nodes = graph.val_indices()
         self.store = builder.build_store(np.concatenate([train_nodes, val_nodes]))
+        self.store.cache_capacity = config.batch_cache_size
         self._builder = builder
 
         backbone_class = _BACKBONES[self.backbone_name]
@@ -150,43 +157,21 @@ class BiasedSubgraphPluginDetector(BotDetector):
             config.dropout,
             np.random.default_rng(config.seed + 1),
         )
-        parameters = self.model.parameters()
-        optimizer = Adam(parameters, lr=config.lr)
-        stopper = EarlyStopping(patience=config.patience)
-        history = TrainingHistory()
-        best_state = [p.data.copy() for p in parameters]
-        start = time.perf_counter()
-
-        for epoch in range(config.max_epochs):
-            epoch_start = time.perf_counter()
-            self.model.train()
-            losses = []
-            for batch in self.store.batches(train_nodes, config.batch_size, rng=rng):
-                optimizer.zero_grad()
-                logits = self.model(batch)
-                loss = cross_entropy(logits, batch.labels, weight=class_weight)
-                loss = loss + l2_penalty(parameters, config.weight_decay)
-                loss.backward()
-                optimizer.step()
-                losses.append(loss.item())
-
-            score = self._score_nodes(val_nodes)
-            history.train_losses.append(float(np.mean(losses)) if losses else 0.0)
-            history.val_scores.append(score)
-            history.epoch_times.append(time.perf_counter() - epoch_start)
-
-            improved = score > stopper.best_score
-            should_stop = stopper.update(score, epoch)
-            if improved:
-                best_state = [p.data.copy() for p in parameters]
-            if should_stop and epoch + 1 >= min(config.min_epochs, config.max_epochs):
-                break
-
-        for param, saved in zip(parameters, best_state):
-            param.data = saved
-        history.best_epoch = stopper.best_epoch
-        history.best_val_score = stopper.best_score
-        history.total_time = time.perf_counter() - start
+        history = train_subgraph_classifier(
+            self.model,
+            self.model.parameters(),
+            self.store,
+            train_nodes,
+            lambda: self._score_nodes(val_nodes),
+            class_weight=class_weight,
+            lr=config.lr,
+            weight_decay=config.weight_decay,
+            batch_size=config.batch_size,
+            max_epochs=config.max_epochs,
+            min_epochs=config.min_epochs,
+            patience=config.patience,
+            rng=rng,
+        )
         self.history = history
         return history
 
@@ -205,15 +190,9 @@ class BiasedSubgraphPluginDetector(BotDetector):
     def _predict_proba_nodes(self, nodes: np.ndarray) -> np.ndarray:
         nodes = np.asarray(nodes, dtype=np.int64)
         self._ensure_subgraphs(nodes)
-        self.model.eval()
-        outputs = np.zeros((nodes.size, 2))
-        batch_size = self.config.batch_size
-        for start in range(0, nodes.size, batch_size):
-            chunk = nodes[start : start + batch_size]
-            batch = collate_subgraphs(self.store.subgraphs(chunk), self.graph)
-            logits = self.model(batch)
-            outputs[start : start + chunk.size] = softmax(logits, axis=-1).numpy()
-        return outputs
+        return predict_subgraph_proba(
+            self.model, self.store, nodes, self.config.batch_size
+        )
 
     def predict_proba(self, graph: HeteroGraph) -> np.ndarray:
         if self.model is None:

@@ -45,6 +45,7 @@ class BSG4BotConfig:
     min_epochs: int = 12
     patience: int = 10
     batch_size: int = 64
+    batch_cache_size: int = 128  # collated batches kept across epochs (0 disables)
     seed: int = 0
 
     def with_overrides(self, **kwargs) -> "BSG4BotConfig":
@@ -64,5 +65,7 @@ class BSG4BotConfig:
             raise ValueError("dropout must be in [0, 1)")
         if self.batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if self.batch_cache_size < 0:
+            raise ValueError("batch_cache_size must be non-negative")
         if self.subgraph_workers <= 0:
             raise ValueError("subgraph_workers must be positive")

@@ -1,6 +1,8 @@
 """The BSG4Bot heterogeneous subgraph learner (Section III-E).
 
-The model consumes a :class:`repro.sampling.SubgraphBatch`:
+The model consumes a :class:`repro.sampling.SubgraphBatch` — the contract is
+identical whichever collation path produced it (the reference
+``collate_subgraphs`` loop or the vectorized ``collate_many`` epoch engine):
 
 1. node features are projected to a hidden space (Eq. 9),
 2. for each relation, a stack of GCN layers runs on that relation's

@@ -12,7 +12,9 @@
    experiment scripts skip reconstruction entirely.
 3. **Heterogeneous subgraph learning** — batched training of the
    :class:`BSG4BotModel` with early stopping on the validation split
-   (Sections III-E and III-F).
+   (Sections III-E and III-F).  Epochs run through the vectorized epoch
+   engine: flat block-diagonal collation plus the store's cross-epoch
+   batch cache (:func:`repro.core.trainer.train_subgraph_classifier`).
 
 The class implements the shared :class:`repro.core.base.BotDetector`
 interface so the experiment harness treats it like any baseline.
@@ -32,15 +34,17 @@ from repro.core.config import BSG4BotConfig
 from repro.core.metrics import accuracy_score, f1_score
 from repro.core.model import BSG4BotModel
 from repro.core.preclassifier import PretrainedClassifier
-from repro.core.trainer import EarlyStopping, TrainingHistory
+from repro.core.trainer import (
+    TrainingHistory,
+    predict_subgraph_proba,
+    train_subgraph_classifier,
+)
 from repro.graph import HeteroGraph
 from repro.sampling import (
     BiasedSubgraphBuilder,
     PPRSubgraphBuilder,
     SubgraphStore,
-    collate_subgraphs,
 )
-from repro.tensor import Adam, Tensor, cross_entropy, l2_penalty, softmax
 
 
 class BSG4Bot(BotDetector):
@@ -162,6 +166,7 @@ class BSG4Bot(BotDetector):
         store = builder.build_store(
             nodes, store=store, workers=self.config.subgraph_workers
         )
+        store.cache_capacity = self.config.batch_cache_size
         # At most one (atomic) rewrite per construction call; inference
         # top-ups are included so the next run's predictions also hit cache.
         if cache_path is not None and len(store) > already:
@@ -222,57 +227,27 @@ class BSG4Bot(BotDetector):
             use_semantic_attention=config.use_semantic_attention,
             rng=np.random.default_rng(config.seed + 1),
         )
-        parameters = self.model.parameters()
-        optimizer = Adam(parameters, lr=config.lr)
-        stopper = EarlyStopping(patience=config.patience)
-        history = TrainingHistory()
-        best_state = [p.data.copy() for p in parameters]
-        # Snapshot selection key: validation score first, then training loss.
-        # Tiny validation splits saturate their score within a few gradient
-        # steps, and keeping the *first* saturating epoch preserves a nearly
-        # untrained model that generalizes poorly (the Figure 9 transfer
-        # study exposes this); among equal validation scores the lower
-        # training loss identifies the better-fitted parameters.
-        best_key = (-np.inf, np.inf)
-        best_epoch = -1
-        start_time = time.perf_counter()
-
-        for epoch in range(config.max_epochs):
-            epoch_start = time.perf_counter()
-            self.model.train()
-            epoch_losses = []
-            for batch in self.store.batches(train_nodes, config.batch_size, rng=rng):
-                optimizer.zero_grad()
-                logits = self.model(batch)
-                loss = cross_entropy(logits, batch.labels, weight=class_weight)
-                loss = loss + l2_penalty(parameters, config.weight_decay)
-                loss.backward()
-                optimizer.step()
-                epoch_losses.append(loss.item())
-
-            val_score = self._score_nodes(val_nodes)
-            mean_loss = float(np.mean(epoch_losses)) if epoch_losses else 0.0
-            history.train_losses.append(mean_loss)
-            history.val_scores.append(val_score)
-            history.epoch_times.append(time.perf_counter() - epoch_start)
-
-            key = (val_score, -mean_loss)
-            if key > best_key:
-                best_key = key
-                best_epoch = epoch
-                best_state = [p.data.copy() for p in parameters]
-            should_stop = stopper.update(val_score, epoch)
-            # With tiny validation sets the score can plateau immediately, so
-            # a minimum number of epochs is trained before early stopping may
-            # trigger (the best-scoring parameters are still the ones kept).
-            if should_stop and epoch + 1 >= min(config.min_epochs, config.max_epochs):
-                break
-
-        for param, saved in zip(parameters, best_state):
-            param.data = saved
-        history.best_epoch = best_epoch
-        history.best_val_score = stopper.best_score
-        history.total_time = time.perf_counter() - start_time
+        # Snapshot selection breaks validation-score ties toward the lower
+        # training loss (``snapshot_tie_break="loss"``): tiny validation
+        # splits saturate immediately and keeping the first saturating epoch
+        # would preserve a nearly untrained model (the Figure 9 transfer
+        # study exposes this).
+        history = train_subgraph_classifier(
+            self.model,
+            self.model.parameters(),
+            self.store,
+            train_nodes,
+            lambda: self._score_nodes(val_nodes),
+            class_weight=class_weight,
+            lr=config.lr,
+            weight_decay=config.weight_decay,
+            batch_size=config.batch_size,
+            max_epochs=config.max_epochs,
+            min_epochs=config.min_epochs,
+            patience=config.patience,
+            rng=rng,
+            snapshot_tie_break="loss",
+        )
         history.extra["phase_times"] = dict(self.phase_times)
         self.history = history
         return history
@@ -297,16 +272,9 @@ class BSG4Bot(BotDetector):
             raise RuntimeError("BSG4Bot must be fitted before predicting")
         nodes = np.asarray(nodes, dtype=np.int64)
         self._ensure_subgraphs(nodes)
-        self.model.eval()
-        outputs = np.zeros((nodes.size, 2))
-        batch_size = self.config.batch_size
-        for start in range(0, nodes.size, batch_size):
-            chunk = nodes[start : start + batch_size]
-            subgraphs = self.store.subgraphs(chunk)
-            batch = collate_subgraphs(subgraphs, self.graph)
-            logits = self.model(batch)
-            outputs[start : start + chunk.size] = softmax(logits, axis=-1).numpy()
-        return outputs
+        return predict_subgraph_proba(
+            self.model, self.store, nodes, self.config.batch_size
+        )
 
     def predict_proba(self, graph: HeteroGraph) -> np.ndarray:
         """Class probabilities for every node of ``graph``.

@@ -1,4 +1,6 @@
-"""Training utilities: early stopping, history tracking, full-graph training loop."""
+"""Training utilities: early stopping, history tracking, and the two shared
+training loops — the full-graph loop used by the baselines and the
+subgraph-batch epoch loop used by BSG4Bot and the plugin detectors."""
 
 from __future__ import annotations
 
@@ -9,7 +11,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro.core.metrics import accuracy_score, f1_score
-from repro.tensor import Adam, Tensor, cross_entropy, l2_penalty
+from repro.tensor import Adam, Tensor, cross_entropy, l2_penalty, softmax
 
 
 class EarlyStopping:
@@ -130,6 +132,128 @@ def train_node_classifier(
     for param, saved in zip(parameters, best_state):
         param.data = saved
     history.best_epoch = stopper.best_epoch
+    history.best_val_score = stopper.best_score
+    history.total_time = time.perf_counter() - start_time
+    return history
+
+
+def predict_subgraph_proba(
+    model,
+    store,
+    nodes: np.ndarray,
+    batch_size: int,
+    num_classes: int = 2,
+) -> np.ndarray:
+    """Class probabilities for ``nodes`` through the cached collation path.
+
+    ``store.collate`` canonicalizes each batch to sorted-center order (that
+    is what makes the cross-epoch cache hit), so every batch's output rows
+    are scattered back to the chunk's requested order before returning.
+    Callers must ensure the store already holds a subgraph for every node.
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    model.eval()
+    outputs = np.zeros((nodes.size, num_classes))
+    for start in range(0, nodes.size, batch_size):
+        chunk = nodes[start : start + batch_size]
+        batch = store.collate(chunk)
+        probabilities = softmax(model(batch), axis=-1).numpy()
+        outputs[start : start + chunk.size][np.argsort(chunk, kind="stable")] = (
+            probabilities
+        )
+    return outputs
+
+
+def train_subgraph_classifier(
+    model,
+    parameters: List[Tensor],
+    store,
+    train_nodes: np.ndarray,
+    score_fn: Callable[[], float],
+    *,
+    class_weight: Optional[np.ndarray] = None,
+    lr: float = 0.01,
+    weight_decay: float = 5e-4,
+    batch_size: int = 64,
+    max_epochs: int = 100,
+    min_epochs: int = 1,
+    patience: int = 10,
+    rng: Optional[np.random.Generator] = None,
+    snapshot_tie_break: str = "none",
+) -> TrainingHistory:
+    """Epoch loop over a :class:`repro.sampling.SubgraphStore` (Section III-F).
+
+    Every epoch iterates shuffled collated batches through the store's
+    cross-epoch batch cache (``store.batches``), computes the weighted
+    cross-entropy on the batch centers plus an L2 penalty, and scores the
+    validation split via ``score_fn`` (which should route through the same
+    cached collation).  Early stopping triggers after ``patience`` epochs
+    without improvement, but never before ``min_epochs`` — with tiny
+    validation sets the score can plateau immediately.
+
+    ``snapshot_tie_break`` selects which parameters are restored at the end:
+
+    * ``"none"`` — the first epoch reaching the best validation score.
+    * ``"loss"`` — among equal validation scores, the epoch with the lowest
+      training loss.  Tiny validation splits saturate their score within a
+      few gradient steps, and keeping the *first* saturating epoch preserves
+      a nearly untrained model that generalizes poorly (the Figure 9
+      transfer study exposes this).
+    """
+    if snapshot_tie_break not in ("none", "loss"):
+        raise ValueError("snapshot_tie_break must be 'none' or 'loss'")
+    tie_break_on_loss = snapshot_tie_break == "loss"
+    train_nodes = np.asarray(train_nodes, dtype=np.int64)
+    # Shuffled multi-batch epochs essentially never repeat a batch
+    # membership, so inserting them would only thrash the store's LRU (and
+    # evict the validation batches that DO recur every epoch).  Only the
+    # single-batch regime — where every epoch is the same membership — goes
+    # through the cache; larger epochs use the flat path directly.
+    cache_training_batches = train_nodes.size <= batch_size
+    optimizer = Adam(parameters, lr=lr)
+    stopper = EarlyStopping(patience=patience)
+    history = TrainingHistory()
+    best_state = [p.data.copy() for p in parameters]
+    best_key = (-np.inf, np.inf)
+    best_epoch = -1
+    start_time = time.perf_counter()
+
+    for epoch in range(max_epochs):
+        epoch_start = time.perf_counter()
+        model.train()
+        epoch_losses = []
+        for batch in store.batches(
+            train_nodes, batch_size, rng=rng, use_cache=cache_training_batches
+        ):
+            optimizer.zero_grad()
+            logits = model(batch)
+            loss = cross_entropy(logits, batch.labels, weight=class_weight)
+            loss = loss + l2_penalty(parameters, weight_decay)
+            loss.backward()
+            optimizer.step()
+            epoch_losses.append(loss.item())
+
+        score = score_fn()
+        mean_loss = float(np.mean(epoch_losses)) if epoch_losses else 0.0
+        history.train_losses.append(mean_loss)
+        history.val_scores.append(score)
+        history.epoch_times.append(time.perf_counter() - epoch_start)
+
+        if tie_break_on_loss:
+            key = (score, -mean_loss)
+            if key > best_key:
+                best_key = key
+                best_epoch = epoch
+                best_state = [p.data.copy() for p in parameters]
+        elif score > stopper.best_score:
+            best_state = [p.data.copy() for p in parameters]
+        should_stop = stopper.update(score, epoch)
+        if should_stop and epoch + 1 >= min(min_epochs, max_epochs):
+            break
+
+    for param, saved in zip(parameters, best_state):
+        param.data = saved
+    history.best_epoch = best_epoch if tie_break_on_loss else stopper.best_epoch
     history.best_val_score = stopper.best_score
     history.total_time = time.perf_counter() - start_time
     return history

@@ -16,6 +16,17 @@ the single-source method up to the shared ``epsilon`` residual bound.
 Sources are processed in chunks to bound the dense block at roughly
 ``chunk_rows * num_nodes`` floats, which keeps memory flat for large
 frontiers.
+
+Late push rounds touch only a handful of columns (the residual frontier
+shrinks as mass converges), so paying a full ``rows x num_nodes`` pass per
+round is wasted work.  The push loop therefore tracks the exact set of
+*active* columns — columns holding at least one above-threshold residual —
+and, once that set is small enough (``sparse_density``), runs the round
+column-sparse: compare/push/update only the active columns and spread
+through a row-sliced, column-compacted transition.  The two round kinds are
+bit-identical (skipped entries only ever contribute exact ``+0.0`` terms and
+the surviving floating-point operations keep their accumulation order), so
+results never depend on which rounds ran sparse.
 """
 
 from __future__ import annotations
@@ -27,6 +38,14 @@ import scipy.sparse as sp
 
 #: Target size (in float64 entries) of one dense residual block.
 _DEFAULT_BLOCK_BUDGET = 8_000_000
+
+#: Run a push round column-sparse once the active columns drop below this
+#: fraction of the graph; above it the dense full-block round is cheaper.
+_DEFAULT_SPARSE_DENSITY = 0.25
+
+#: Below this dense-block size (live rows x num_nodes) a full-block round is
+#: already cheaper than the slicing overhead of a column-sparse one.
+_SPARSE_MIN_BLOCK = 65_536
 
 
 class PushOperator:
@@ -58,6 +77,7 @@ def multi_source_ppr(
     max_rounds: int = 1000,
     chunk_rows: Optional[int] = None,
     prepared: Optional[PushOperator] = None,
+    sparse_density: float = _DEFAULT_SPARSE_DENSITY,
 ) -> sp.csr_matrix:
     """Approximate PPR scores for many sources at once.
 
@@ -65,12 +85,17 @@ def multi_source_ppr(
     ``i`` holds the push estimates for ``sources[i]`` (zero outside the
     touched neighbourhood, exactly like the sparse dict of the single-source
     method).  Pass a :class:`PushOperator` built from the same adjacency as
-    ``prepared`` to skip the per-call transition setup.
+    ``prepared`` to skip the per-call transition setup.  ``sparse_density``
+    sets the active-column fraction below which a push round runs
+    column-sparse (0 forces every round dense, 1 forces every round sparse;
+    the results are bit-identical either way).
     """
     if not 0.0 < alpha < 1.0:
         raise ValueError("alpha must be in (0, 1)")
     if epsilon <= 0:
         raise ValueError("epsilon must be positive")
+    if not 0.0 <= sparse_density <= 1.0:
+        raise ValueError("sparse_density must be in [0, 1]")
     operator = prepared if prepared is not None else PushOperator(adjacency)
     num_nodes = operator.num_nodes
     sources = np.asarray(list(sources), dtype=np.int64)
@@ -90,9 +115,20 @@ def multi_source_ppr(
     for start in range(0, sources.size, chunk_rows):
         chunk = sources[start : start + chunk_rows]
         blocks.append(
-            _push_chunk(transition, dangling, thresholds, chunk, alpha, max_rounds)
+            _push_chunk(
+                transition, dangling, thresholds, chunk, alpha, max_rounds, sparse_density
+            )
         )
     return sp.vstack(blocks, format="csr") if len(blocks) > 1 else blocks[0]
+
+
+def _retire_converged(live, final, alive, estimates, arrays):
+    """Write finished rows' estimates into ``final`` and compact the working
+    block (shared by the dense and column-sparse rounds, which must stay
+    bit-identical)."""
+    done = ~live
+    final[alive[done]] = estimates[done]
+    return [array[live] for array in arrays]
 
 
 def _push_chunk(
@@ -102,6 +138,7 @@ def _push_chunk(
     sources: np.ndarray,
     alpha: float,
     max_rounds: int,
+    sparse_density: float,
 ) -> sp.csr_matrix:
     num_nodes = transition.shape[0]
     final = np.zeros((sources.size, num_nodes), dtype=np.float64)
@@ -116,28 +153,109 @@ def _push_chunk(
     estimates = np.zeros_like(residuals)
 
     has_dangling = bool(dangling.any())
+    dangling_columns = np.flatnonzero(dangling)
+    column_limit = int(sparse_density * num_nodes)
+    # Exact mask of columns holding at least one above-threshold residual.
+    # Sparse rounds maintain it incrementally; after a dense round it is
+    # recomputed from scratch (None).
+    column_active: Optional[np.ndarray] = np.zeros(num_nodes, dtype=bool)
+    column_active[sources] = 1.0 >= thresholds[sources]
+
     for _ in range(max_rounds):
-        active = residuals >= thresholds[None, :]
-        live = active.any(axis=1)
-        if not live.all():
-            done = ~live
-            final[alive[done]] = estimates[done]
-            alive = alive[live]
-            live_sources = live_sources[live]
-            residuals = residuals[live]
-            estimates = estimates[live]
-            active = active[live]
-            if alive.size == 0:
-                break
-        pushed = np.where(active, residuals, 0.0)
-        estimates += alpha * pushed
-        residuals -= pushed
-        # Spread (1 - alpha) of the pushed mass uniformly over out-neighbours;
-        # the row-stochastic transition encodes the 1/degree split.
-        spread = (transition.T @ pushed.T).T
-        if has_dangling:
-            # Dangling nodes return their mass to the originating source.
-            spread[np.arange(alive.size), live_sources] += pushed[:, dangling].sum(axis=1)
-        residuals += (1.0 - alpha) * spread
+        if column_active is not None:
+            columns = np.flatnonzero(column_active)
+            full_active = None
+        else:
+            full_active = residuals >= thresholds[None, :]
+            columns = np.flatnonzero(full_active.any(axis=0))
+        if columns.size == 0:
+            break
+
+        # A sparse round only pays off when it skips a *large* dense block;
+        # either way the arithmetic is bit-identical, so the gate is purely
+        # a speed decision.  ``sparse_density=1.0`` bypasses the size floor
+        # (used by the equivalence tests to force every round sparse).
+        small_block = sparse_density < 1.0 and alive.size * num_nodes < _SPARSE_MIN_BLOCK
+        if columns.size > column_limit or small_block:
+            # ---- dense round: one full pass over the residual block ----
+            active = (
+                full_active if full_active is not None else residuals >= thresholds[None, :]
+            )
+            live = active.any(axis=1)
+            if not live.all():
+                alive, live_sources, residuals, estimates, active = _retire_converged(
+                    live, final, alive, estimates,
+                    [alive, live_sources, residuals, estimates, active],
+                )
+                if alive.size == 0:
+                    break
+            pushed = np.where(active, residuals, 0.0)
+            estimates += alpha * pushed
+            residuals -= pushed
+            # Spread (1 - alpha) of the pushed mass uniformly over
+            # out-neighbours; the row-stochastic transition encodes the
+            # 1/degree split.
+            spread = (transition.T @ pushed.T).T
+            if has_dangling:
+                # Dangling nodes return their mass to the originating source.
+                spread[np.arange(alive.size), live_sources] += pushed[:, dangling].sum(axis=1)
+            residuals += (1.0 - alpha) * spread
+            column_active = None
+        else:
+            # ---- column-sparse round: touch only the active columns ----
+            sub = residuals[:, columns]
+            act = sub >= thresholds[columns][None, :]
+            live = act.any(axis=1)
+            if not live.all():
+                alive, live_sources, residuals, estimates, sub, act = _retire_converged(
+                    live, final, alive, estimates,
+                    [alive, live_sources, residuals, estimates, sub, act],
+                )
+                if alive.size == 0:
+                    break
+            pushed = np.where(act, sub, 0.0)
+            estimates[:, columns] += alpha * pushed
+            residuals[:, columns] = sub - pushed
+            # Spread through the pushed columns' transition rows, compacted
+            # to the set of destination columns they can reach.
+            transition_rows = transition[columns]
+            touched = np.unique(transition_rows.indices)
+            if has_dangling:
+                touched = np.union1d(touched, live_sources)
+            if touched.size:
+                compact = sp.csr_matrix(
+                    (
+                        transition_rows.data,
+                        np.searchsorted(touched, transition_rows.indices),
+                        transition_rows.indptr,
+                    ),
+                    shape=(columns.size, touched.size),
+                )
+                spread = (compact.T @ pushed.T).T
+                if has_dangling:
+                    # Scatter the pushed values into a block with one slot
+                    # per dangling node before summing, so the reduction runs
+                    # over the same array shape as the dense round (keeps the
+                    # two round kinds bit-identical).
+                    in_dangling = dangling[columns]
+                    returned = np.zeros((alive.size, dangling_columns.size))
+                    if in_dangling.any():
+                        returned[
+                            :, np.searchsorted(dangling_columns, columns[in_dangling])
+                        ] = pushed[:, in_dangling]
+                    spread[
+                        np.arange(alive.size), np.searchsorted(touched, live_sources)
+                    ] += returned.sum(axis=1)
+                residuals[:, touched] += (1.0 - alpha) * spread
+                changed = np.union1d(columns, touched)
+            else:
+                changed = columns
+            if column_active is None:
+                # First sparse round after a dense one: every active column
+                # is in ``changed``, so a fresh mask is exact.
+                column_active = np.zeros(num_nodes, dtype=bool)
+            column_active[changed] = (
+                residuals[:, changed] >= thresholds[changed][None, :]
+            ).any(axis=0)
     final[alive] = estimates
     return sp.csr_matrix(final)

@@ -2,11 +2,25 @@
 
 Contains the paper's biased heterogeneous subgraph builder (Algorithm 1), the
 PPR-only variant used in the ablation, uniform neighbour sampling
-(GraphSAGE-style), and a greedy clustering partitioner (ClusterGCN-style).
+(GraphSAGE-style), a greedy clustering partitioner (ClusterGCN-style), and
+the two collation paths that merge stored subgraphs into block-diagonal
+training batches (:func:`collate_subgraphs` reference loop,
+:func:`collate_many` vectorized epoch engine).
 """
 
-from repro.sampling.subgraph import Subgraph, SubgraphBatch, SubgraphStore, collate_subgraphs
-from repro.sampling.biased import BiasedSubgraphBuilder, PPRSubgraphBuilder
+from repro.sampling.subgraph import (
+    Subgraph,
+    SubgraphBatch,
+    SubgraphStore,
+    collate_many,
+    collate_subgraphs,
+)
+from repro.sampling.biased import (
+    BiasedSubgraphBuilder,
+    PPRSubgraphBuilder,
+    shared_process_pool,
+    shutdown_shared_pool,
+)
 from repro.sampling.neighbor import sample_neighbor_adjacency
 from repro.sampling.clustering import greedy_partition
 
@@ -14,9 +28,12 @@ __all__ = [
     "Subgraph",
     "SubgraphBatch",
     "SubgraphStore",
+    "collate_many",
     "collate_subgraphs",
     "BiasedSubgraphBuilder",
     "PPRSubgraphBuilder",
+    "shared_process_pool",
+    "shutdown_shared_pool",
     "sample_neighbor_adjacency",
     "greedy_partition",
 ]

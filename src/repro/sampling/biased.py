@@ -20,7 +20,9 @@ Two construction engines share the selection logic:
 * :meth:`BiasedSubgraphBuilder.build_batch` — the batched engine: one
   multi-source PPR call per relation for the whole frontier of centers and
   vectorized edge induction via CSR submatrix slicing, with an optional
-  process-pool path for multi-core machines.
+  process-pool path for multi-core machines (one module-level pool shared
+  across relations and ``build_store`` calls, see
+  :func:`shared_process_pool`).
 
 Both engines select the same per-relation neighbour sets (the batched PPR
 estimates agree with the queue push up to the shared ``epsilon`` residual
@@ -29,7 +31,9 @@ bound; see ``tests/test_batched_subgraphs.py``).
 
 from __future__ import annotations
 
+import atexit
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -52,6 +56,42 @@ def cosine_similarity_scores(
 def _build_shard(builder: "BiasedSubgraphBuilder", nodes: Sequence[int]) -> List[Subgraph]:
     """Top-level worker so the process-pool path can pickle the call."""
     return builder.build_batch(nodes)
+
+
+# ----------------------------------------------------------------------
+# Shared worker pool: spawning a process pool costs a fork + interpreter
+# warm-up per worker, which used to be paid on every ``build_store`` call
+# (once per relation sweep, figure and experiment script).  One module-level
+# pool is created on first use, reused by every builder, and shut down at
+# interpreter exit (or explicitly via :func:`shutdown_shared_pool`).
+# ----------------------------------------------------------------------
+_shared_pool: Optional[ProcessPoolExecutor] = None
+_shared_pool_workers: int = 0
+
+
+def shared_process_pool(workers: int) -> ProcessPoolExecutor:
+    """The shared pool, grown (never shrunk) to at least ``workers`` workers."""
+    global _shared_pool, _shared_pool_workers
+    if workers <= 0:
+        raise ValueError("workers must be positive")
+    if _shared_pool is not None and _shared_pool_workers < workers:
+        shutdown_shared_pool()
+    if _shared_pool is None:
+        _shared_pool = ProcessPoolExecutor(max_workers=workers)
+        _shared_pool_workers = workers
+    return _shared_pool
+
+
+def shutdown_shared_pool() -> None:
+    """Explicitly stop the shared pool (safe to call when none exists)."""
+    global _shared_pool, _shared_pool_workers
+    if _shared_pool is not None:
+        _shared_pool.shutdown(wait=True)
+        _shared_pool = None
+        _shared_pool_workers = 0
+
+
+atexit.register(shutdown_shared_pool)
 
 
 class BiasedSubgraphBuilder:
@@ -389,10 +429,18 @@ class BiasedSubgraphBuilder:
             shards = [
                 shard for shard in np.array_split(np.asarray(missing), workers) if shard.size
             ]
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                for built in pool.map(_build_shard, [self] * len(shards), shards):
-                    for subgraph in built:
-                        store.add(subgraph)
+            pool = shared_process_pool(workers)
+            try:
+                shard_results = list(pool.map(_build_shard, [self] * len(shards), shards))
+            except BrokenProcessPool:
+                # A previous task killed a worker; replace the pool once and
+                # retry rather than failing the whole construction.
+                shutdown_shared_pool()
+                pool = shared_process_pool(workers)
+                shard_results = list(pool.map(_build_shard, [self] * len(shards), shards))
+            for built in shard_results:
+                for subgraph in built:
+                    store.add(subgraph)
             return store
         for subgraph in self.build_batch(missing):
             store.add(subgraph)

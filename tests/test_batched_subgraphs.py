@@ -135,6 +135,75 @@ class TestStoreSerialization:
             )
             assert abs(delta).max() < 1e-12
 
+    def test_roundtrip_persists_normalized_blocks(
+        self, tmp_path, hetero_graph, builder, monkeypatch
+    ):
+        """save/load carries the normalized collation pack, so a loaded store
+        collates its first epoch without re-normalizing anything."""
+        store = builder.build_store(range(15))
+        expected = store.collate(range(15))
+        path = tmp_path / "store.npz"
+        store.save(path)
+        loaded = SubgraphStore.load(path, hetero_graph)
+        assert loaded.has_collation_pack(normalize=True)
+
+        def fail(*args, **kwargs):  # pragma: no cover - only on regression
+            raise AssertionError("loaded store re-normalized a subgraph")
+
+        monkeypatch.setattr(Subgraph, "normalized_relation_adjacency", fail)
+        restored = loaded.collate(range(15))
+        np.testing.assert_array_equal(expected.features, restored.features)
+        for relation, left in expected.relation_adjacencies.items():
+            right = restored.relation_adjacencies[relation]
+            np.testing.assert_array_equal(left.indptr, right.indptr)
+            np.testing.assert_array_equal(left.indices, right.indices)
+            np.testing.assert_array_equal(left.data, right.data)
+
+    def test_legacy_file_without_normalized_blocks_loads(
+        self, tmp_path, hetero_graph, builder
+    ):
+        """Pre-epoch-engine archives (no ``norm_*`` arrays) still load; the
+        pack is then rebuilt lazily on first collation."""
+        store = builder.build_store(range(8))
+        path = tmp_path / "store.npz"
+        store.save(path, include_normalized=False)
+        loaded = SubgraphStore.load(path, hetero_graph)
+        assert not loaded.has_collation_pack(normalize=True)
+        batch = loaded.collate(range(8))
+        expected = store.collate(range(8))
+        for relation, left in expected.relation_adjacencies.items():
+            right = batch.relation_adjacencies[relation]
+            np.testing.assert_array_equal(left.data, right.data)
+
+
+class TestSharedWorkerPool:
+    def test_pool_reused_across_build_store_calls(self, hetero_graph, builder):
+        from repro.sampling import biased
+
+        biased.shutdown_shared_pool()
+        builder.build_store(range(0, 12), workers=2)
+        first = biased._shared_pool
+        assert first is not None
+        builder.build_store(range(12, 24), workers=2)
+        assert biased._shared_pool is first
+
+    def test_pool_grows_for_more_workers(self, hetero_graph, builder):
+        from repro.sampling import biased
+
+        biased.shutdown_shared_pool()
+        pool = biased.shared_process_pool(1)
+        grown = biased.shared_process_pool(2)
+        assert grown is not pool
+        assert biased.shared_process_pool(1) is grown  # never shrinks
+        biased.shutdown_shared_pool()
+        assert biased._shared_pool is None
+
+    def test_invalid_worker_count_rejected(self):
+        from repro.sampling import biased
+
+        with pytest.raises(ValueError):
+            biased.shared_process_pool(0)
+
 
 class TestBatchedSpeed:
     def test_batched_engine_is_faster_at_benchmark_scale(self):

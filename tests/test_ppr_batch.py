@@ -108,3 +108,54 @@ class TestMultiSourcePPR:
             multi_source_ppr(adjacency, [0], epsilon=0.0)
         with pytest.raises(ValueError):
             multi_source_ppr(adjacency, [12])
+        with pytest.raises(ValueError):
+            multi_source_ppr(adjacency, [0], sparse_density=1.5)
+
+
+class TestColumnSparseResiduals:
+    """The column-sparse push rounds must be *bit-identical* to the dense
+    ones — the subgraph engines rely on exact agreement between per-node and
+    batched sweeps, so mode decisions may never leak into the results."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_forced_sparse_matches_forced_dense(self, seed):
+        adjacency = random_graph(50, 0.08, seed=seed)
+        sources = np.arange(50)
+        dense = multi_source_ppr(adjacency, sources, epsilon=1e-6, sparse_density=0.0)
+        sparse = multi_source_ppr(adjacency, sources, epsilon=1e-6, sparse_density=1.0)
+        assert (dense != sparse).nnz == 0
+        np.testing.assert_array_equal(dense.data, sparse.data)
+        np.testing.assert_array_equal(dense.indices, sparse.indices)
+
+    def test_sparse_matches_dense_with_dangling_nodes(self):
+        rng = np.random.default_rng(5)
+        dense_matrix = (rng.random((40, 40)) < 0.1).astype(float)
+        np.fill_diagonal(dense_matrix, 0)
+        dense_matrix[rng.choice(40, 6, replace=False)] = 0.0  # dangling rows
+        adjacency = sp.csr_matrix(dense_matrix)
+        dense = multi_source_ppr(adjacency, np.arange(40), epsilon=1e-7, sparse_density=0.0)
+        sparse = multi_source_ppr(adjacency, np.arange(40), epsilon=1e-7, sparse_density=1.0)
+        assert (dense != sparse).nnz == 0
+        np.testing.assert_array_equal(dense.data, sparse.data)
+
+    def test_auto_mode_matches_dense(self):
+        adjacency = random_graph(80, 0.05, seed=9)
+        sources = np.arange(80)
+        dense = multi_source_ppr(adjacency, sources, epsilon=1e-6, sparse_density=0.0)
+        auto = multi_source_ppr(adjacency, sources, epsilon=1e-6)
+        assert (dense != auto).nnz == 0
+        np.testing.assert_array_equal(dense.data, auto.data)
+
+    def test_mode_independent_of_chunking(self):
+        """Sparse-mode decisions are per chunk, yet results must not depend
+        on how sources are chunked (rows evolve independently)."""
+        adjacency = random_graph(45, 0.1, seed=4)
+        whole = multi_source_ppr(adjacency, np.arange(45), sparse_density=1.0)
+        chunked = multi_source_ppr(adjacency, np.arange(45), chunk_rows=6, sparse_density=1.0)
+        assert (whole != chunked).nnz == 0
+
+    def test_single_row_matches_batch_row_in_sparse_mode(self):
+        adjacency = random_graph(30, 0.15, seed=6)
+        batch = multi_source_ppr(adjacency, np.arange(30), sparse_density=1.0)
+        single = multi_source_ppr(adjacency, [11], sparse_density=1.0)
+        assert (batch.getrow(11) != single.getrow(0)).nnz == 0
