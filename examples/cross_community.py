@@ -14,8 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines import get_detector
-from repro.core import BSG4Bot, BSG4BotConfig
+from repro import api
 from repro.core.metrics import accuracy_score
 from repro.datasets import load_benchmark
 from repro.datasets.splits import split_masks
@@ -24,9 +23,12 @@ NUM_COMMUNITIES = 3
 
 
 def make_detector(name: str):
+    overrides = {"max_epochs": 25, "patience": 6}
     if name == "bsg4bot":
-        return BSG4Bot(BSG4BotConfig(subgraph_k=8, max_epochs=25, patience=6, seed=0))
-    return get_detector(name, max_epochs=25, patience=6, seed=0)
+        overrides["subgraph_k"] = 8
+    return api.create_detector(
+        {"name": name, "scale": None, "seed": 0, "overrides": overrides}
+    )
 
 
 def main() -> None:

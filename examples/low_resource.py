@@ -12,8 +12,7 @@ and two baselines degrade.
 
 from __future__ import annotations
 
-from repro.baselines import get_detector
-from repro.core import BSG4Bot, BSG4BotConfig
+from repro import api
 from repro.datasets import load_benchmark
 from repro.datasets.splits import subsample_train_mask
 
@@ -23,9 +22,12 @@ MODELS = ("mlp", "botrgcn", "bsg4bot")
 
 
 def make_detector(name: str):
+    overrides = {"max_epochs": 30, "patience": 6}
     if name == "bsg4bot":
-        return BSG4Bot(BSG4BotConfig(subgraph_k=8, max_epochs=30, patience=6, seed=0))
-    return get_detector(name, max_epochs=30, patience=6, seed=0)
+        overrides["subgraph_k"] = 8
+    return api.create_detector(
+        {"name": name, "scale": None, "seed": 0, "overrides": overrides}
+    )
 
 
 def main() -> None:

@@ -15,8 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines import BiasedSubgraphPluginDetector, get_detector
-from repro.core import BSG4BotConfig
+from repro import api
 from repro.core.preclassifier import PretrainedClassifier
 from repro.datasets import load_benchmark
 from repro.graph.homophily import node_homophily_ratios
@@ -52,15 +51,20 @@ def main() -> None:
     print(f"Benchmark: {graph}")
     homophily_report(graph)
 
-    config = BSG4BotConfig(subgraph_k=8, max_epochs=30, patience=6, seed=0)
     print("\nBackbone comparison (full graph vs biased subgraphs):")
     print(f"  {'backbone':<10} {'full-graph F1':>14} {'subgraphs F1':>14} {'gain':>8}")
     for backbone in ("gcn", "gat", "botrgcn"):
-        baseline = get_detector(backbone, max_epochs=30, patience=6, seed=0)
+        baseline = api.create_detector(
+            {"name": backbone, "scale": None, "seed": 0,
+             "overrides": {"max_epochs": 30, "patience": 6}}
+        )
         baseline.fit(graph)
         base_f1 = baseline.evaluate(graph)["f1"]
 
-        plugin = BiasedSubgraphPluginDetector(backbone=backbone, config=config)
+        plugin = api.create_detector(
+            {"name": f"plugin-{backbone}", "scale": None, "seed": 0,
+             "overrides": {"subgraph_k": 8, "max_epochs": 30, "patience": 6}}
+        )
         plugin.fit(graph)
         plugin_f1 = plugin.evaluate(graph)["f1"]
         print(

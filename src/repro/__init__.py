@@ -1,20 +1,28 @@
 """BSG4Bot reproduction: efficient bot detection on biased heterogeneous subgraphs.
 
-Public entry points:
+The stable public surface is :mod:`repro.api` — construct detectors through
+the registry, train once, persist artifacts, and serve node-scoring sessions:
 
+* :func:`repro.api.create_detector` -- build BSG4Bot or any baseline from a
+  config dict (``{"name": ..., "scale": ..., "overrides": {...}}``).
+* :func:`repro.api.save_detector` / :func:`repro.api.load_detector` -- persist
+  a trained detector (config + weights + subgraph store) and reload it
+  without retraining.
+* :class:`repro.api.DetectionSession` -- serve-many scoring with incremental
+  graph updates.
 * :func:`repro.datasets.load_benchmark` -- build a synthetic TwiBot-20 /
   TwiBot-22 / MGTAB-style benchmark.
-* :class:`repro.core.BSG4Bot` -- the paper's detector (pre-classifier, biased
-  subgraph construction, heterogeneous subgraph GNN).
-* :func:`repro.baselines.get_detector` -- any of the twelve baselines (or
-  BSG4Bot) by name.
 * :mod:`repro.experiments` -- runners that regenerate every table and figure
   of the paper's evaluation section.
+
+Everything else (``core``, ``sampling``, ``nn``, ``tensor``, ...) is
+internal substrate.
 """
 
 from repro.core import BSG4Bot, BSG4BotConfig
 from repro.datasets import load_benchmark
+from repro import api
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["BSG4Bot", "BSG4BotConfig", "load_benchmark", "__version__"]
+__all__ = ["BSG4Bot", "BSG4BotConfig", "api", "load_benchmark", "__version__"]

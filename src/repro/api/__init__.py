@@ -1,0 +1,82 @@
+"""``repro.api`` — the stable public surface of the reproduction.
+
+Everything a consumer needs to construct, train, persist, and serve a bot
+detector lives here; the packages underneath (``core``, ``sampling``,
+``baselines``, ``experiments``) are internals whose layout may change
+between versions.
+
+Construct (registry, config-dict driven)::
+
+    from repro import api
+
+    detector = api.create_detector({"name": "bsg4bot", "scale": "small",
+                                    "seed": 0, "overrides": {"subgraph_k": 8}})
+    detector.fit(benchmark.graph)
+
+Persist (train once)::
+
+    api.save_detector(detector, "artifacts/bsg4bot-mgtab")
+    detector = api.load_detector("artifacts/bsg4bot-mgtab", graph=benchmark.graph)
+
+Serve (score many, update incrementally)::
+
+    with api.DetectionSession(detector, benchmark.graph) as session:
+        probabilities = session.score_nodes([17, 42, 108])
+        session.update_graph(edges_added={"followers": ([17], [42])})
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.api.artifact import load_detector, save_detector
+from repro.api.registry import (
+    DETECTORS,
+    DetectorRegistry,
+    available_detectors,
+    create_detector,
+    register,
+)
+from repro.api.session import DetectionSession
+from repro.core.serialization import ArtifactError, read_manifest
+from repro.core.trainer import TrainingHistory
+from repro.graph import HeteroGraph
+
+
+@runtime_checkable
+class Detector(Protocol):
+    """Structural protocol every registered detector satisfies.
+
+    :class:`repro.core.base.BotDetector` is the concrete base class the
+    in-tree detectors inherit from; external implementations only need to
+    match this surface to be registrable.
+    """
+
+    name: str
+
+    def fit(self, graph: HeteroGraph) -> TrainingHistory: ...
+
+    def predict_proba(self, graph: HeteroGraph) -> np.ndarray: ...
+
+    def predict(self, graph: HeteroGraph) -> np.ndarray: ...
+
+    def evaluate(
+        self, graph: HeteroGraph, mask: Optional[np.ndarray] = None
+    ) -> Dict[str, float]: ...
+
+
+__all__ = [
+    "ArtifactError",
+    "DETECTORS",
+    "DetectionSession",
+    "Detector",
+    "DetectorRegistry",
+    "available_detectors",
+    "create_detector",
+    "load_detector",
+    "read_manifest",
+    "register",
+    "save_detector",
+]

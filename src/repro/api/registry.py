@@ -1,0 +1,271 @@
+"""Detector registry: one blessed way to construct any detector.
+
+Every detector of the reproduction — BSG4Bot, the twelve baselines, the
+"Subgraphs + backbone" plugin variants — is registered here under a string
+name, and :func:`create_detector` builds any of them from a plain config
+dict::
+
+    detector = create_detector({
+        "name": "bsg4bot",
+        "scale": "small",          # "small" | "medium" | ExperimentScale | None
+        "seed": 0,
+        "overrides": {"subgraph_k": 8, "max_epochs": 40},
+    })
+
+``scale`` applies the experiment-scale training budget (hidden dimension,
+epoch/patience caps, subgraph size) and **defaults to "small"** when omitted
+— the laptop-scale budget every experiment and CLI path uses.  Pass
+``"scale": None`` explicitly to keep each detector's own constructor
+defaults (the paper-sized configuration); that is what the legacy
+:func:`repro.baselines.get_detector` helper maps onto, so the two entry
+points differ for a bare name.  Override keys are validated against the target detector's
+configuration surface — a typo'd field raises ``ValueError`` naming the
+valid options instead of surfacing as a bare dataclass/``TypeError`` error.
+
+New detectors register with the decorator::
+
+    @register("my-detector")
+    def _build(scale, seed, overrides):
+        return MyDetector(**overrides)
+"""
+
+from __future__ import annotations
+
+import inspect
+import os
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Union
+
+from repro.baselines import (
+    BiasedSubgraphPluginDetector,
+    BotMoEDetector,
+    BotRGCNDetector,
+    ClusterGCNDetector,
+    GATDetector,
+    GCNDetector,
+    GPRGNNDetector,
+    GraphSAGEDetector,
+    H2GCNDetector,
+    MLPDetector,
+    RGTDetector,
+    RoBERTaDetector,
+    SlimGDetector,
+)
+from repro.core import BSG4Bot, BSG4BotConfig
+from repro.core.base import BotDetector
+
+if TYPE_CHECKING:
+    # Imported lazily at runtime (see _resolve_scale): importing
+    # repro.experiments at module scope would cycle back into repro.api
+    # through the experiment runners.
+    from repro.experiments.settings import ExperimentScale
+
+#: A builder receives the resolved scale (or None), the seed, and the
+#: validated override dict, and returns a fresh detector instance.
+DetectorBuilder = Callable[["Optional[ExperimentScale]", int, dict], BotDetector]
+
+#: Keys accepted in a :func:`create_detector` spec dict.
+_SPEC_KEYS = frozenset({"name", "scale", "seed", "overrides"})
+
+
+class DetectorRegistry:
+    """Name -> builder mapping with decorator registration."""
+
+    def __init__(self) -> None:
+        self._builders: Dict[str, DetectorBuilder] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, name: str, *, replace: bool = False) -> Callable[[DetectorBuilder], DetectorBuilder]:
+        """Decorator registering a builder under ``name`` (case-insensitive)."""
+        key = name.lower()
+
+        def decorator(builder: DetectorBuilder) -> DetectorBuilder:
+            if key in self._builders and not replace:
+                raise ValueError(f"detector {key!r} is already registered")
+            self._builders[key] = builder
+            return builder
+
+        return decorator
+
+    def names(self) -> List[str]:
+        """Registered detector names, in registration order."""
+        return list(self._builders)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._builders
+
+    # ------------------------------------------------------------------
+    def create(self, spec: Union[str, dict]) -> BotDetector:
+        """Build a detector from a name or a config dict (see module docs)."""
+        if isinstance(spec, str):
+            spec = {"name": spec}
+        if not isinstance(spec, dict):
+            raise TypeError(f"spec must be a detector name or dict, got {type(spec).__name__}")
+        unknown = sorted(set(spec) - _SPEC_KEYS)
+        if unknown:
+            raise ValueError(f"unknown spec key(s) {unknown}; valid keys: {sorted(_SPEC_KEYS)}")
+        if "name" not in spec:
+            raise ValueError("spec requires a 'name' key")
+        key = str(spec["name"]).lower()
+        if key not in self._builders:
+            raise KeyError(f"unknown detector {key!r}; options: {self.names()}")
+        scale = _resolve_scale(spec.get("scale", "small"))
+        seed = int(spec.get("seed", 0))
+        overrides = spec.get("overrides") or {}
+        if not isinstance(overrides, dict):
+            raise TypeError("'overrides' must be a dict of field -> value")
+        return self._builders[key](scale, seed, dict(overrides))
+
+
+def _resolve_scale(scale: Union[None, str, "ExperimentScale"]) -> Optional["ExperimentScale"]:
+    from repro.experiments.settings import MEDIUM, SMALL, ExperimentScale
+
+    if scale is None or isinstance(scale, ExperimentScale):
+        return scale
+    if isinstance(scale, str):
+        names = {"small": SMALL, "medium": MEDIUM}
+        key = scale.lower()
+        if key in names:
+            return names[key]
+        raise ValueError(f"unknown scale {scale!r}; options: {sorted(names)} or an ExperimentScale")
+    raise TypeError(f"scale must be None, a name, or an ExperimentScale, got {type(scale).__name__}")
+
+
+#: The default registry used by :func:`create_detector` and the CLI.
+DETECTORS = DetectorRegistry()
+
+register = DETECTORS.register
+
+
+def create_detector(spec: Union[str, dict]) -> BotDetector:
+    """Build a detector from the default registry (see module docstring)."""
+    return DETECTORS.create(spec)
+
+
+def available_detectors() -> List[str]:
+    """Names accepted by :func:`create_detector`."""
+    return DETECTORS.names()
+
+
+# ----------------------------------------------------------------------
+# BSG4Bot
+# ----------------------------------------------------------------------
+def bsg4bot_config(
+    scale: Optional[ExperimentScale], seed: int, overrides: dict
+) -> BSG4BotConfig:
+    """The BSG4Bot config for a scale budget + overrides (validated).
+
+    Experiment scripts that share a benchmark + seed produce the same
+    pre-classifier embeddings, so their subgraph stores are identical;
+    ``REPRO_SUBGRAPH_CACHE`` points every run at one content-addressed cache
+    directory so later runs reuse earlier stores (an explicit
+    ``store_cache_dir`` override wins).
+    """
+    base: Dict[str, object] = {"seed": seed}
+    if scale is not None:
+        base.update(
+            hidden_dim=scale.hidden_dim,
+            pretrain_hidden_dim=scale.hidden_dim,
+            pretrain_epochs=scale.pretrain_epochs,
+            subgraph_k=scale.subgraph_k,
+            max_epochs=scale.max_epochs,
+            patience=scale.patience,
+            batch_size=scale.batch_size,
+        )
+    base.setdefault("store_cache_dir", os.environ.get("REPRO_SUBGRAPH_CACHE") or None)
+    config = BSG4BotConfig().with_overrides(**base)
+    return config.with_overrides(**overrides)
+
+
+@register("bsg4bot")
+def _build_bsg4bot(scale: Optional[ExperimentScale], seed: int, overrides: dict) -> BSG4Bot:
+    return BSG4Bot(bsg4bot_config(scale, seed, overrides))
+
+
+# ----------------------------------------------------------------------
+# Baselines (Table II) — scale budget mapped onto each factory's signature
+# ----------------------------------------------------------------------
+def _accepted_params(factory: Callable[..., BotDetector]) -> frozenset:
+    """Keyword names a detector class accepts, following ``**kwargs`` chains.
+
+    Subclass constructors like ``GraphSAGEDetector(fanout=..., **kwargs)``
+    forward the rest to their base class; the walk unions named parameters up
+    the MRO until a constructor without ``**kwargs`` terminates the chain.
+    """
+    if not isinstance(factory, type):
+        return frozenset(
+            name
+            for name, param in inspect.signature(factory).parameters.items()
+            if param.kind in (param.POSITIONAL_OR_KEYWORD, param.KEYWORD_ONLY)
+        )
+    accepted = set()
+    for klass in inspect.getmro(factory):
+        init = klass.__dict__.get("__init__")
+        if init is None:
+            continue
+        params = inspect.signature(init).parameters
+        accepted.update(
+            name
+            for name, param in params.items()
+            if name != "self"
+            and param.kind in (param.POSITIONAL_OR_KEYWORD, param.KEYWORD_ONLY)
+        )
+        if not any(p.kind == p.VAR_KEYWORD for p in params.values()):
+            break
+    return frozenset(accepted)
+
+
+def _register_baseline(name: str, factory: Callable[..., BotDetector]) -> None:
+    accepted = _accepted_params(factory)
+
+    @register(name)
+    def _build(scale: Optional[ExperimentScale], seed: int, overrides: dict) -> BotDetector:
+        bad = sorted(set(overrides) - accepted)
+        if bad:
+            raise ValueError(
+                f"unknown override(s) {bad} for detector {name!r}; "
+                f"accepted: {sorted(accepted)}"
+            )
+        kwargs: Dict[str, object] = {}
+        if scale is not None:
+            budget = {
+                "hidden_dim": scale.hidden_dim,
+                "max_epochs": scale.max_epochs,
+                "patience": scale.patience,
+            }
+            kwargs.update({k: v for k, v in budget.items() if k in accepted})
+        if "seed" in accepted:
+            kwargs["seed"] = seed
+        kwargs.update(overrides)
+        return factory(**kwargs)
+
+
+for _name, _factory in {
+    "roberta": RoBERTaDetector,
+    "mlp": MLPDetector,
+    "gcn": GCNDetector,
+    "gat": GATDetector,
+    "graphsage": GraphSAGEDetector,
+    "clustergcn": ClusterGCNDetector,
+    "slimg": SlimGDetector,
+    "botrgcn": BotRGCNDetector,
+    "rgt": RGTDetector,
+    "botmoe": BotMoEDetector,
+    "h2gcn": H2GCNDetector,
+    "gprgnn": GPRGNNDetector,
+}.items():
+    _register_baseline(_name, _factory)
+
+
+# ----------------------------------------------------------------------
+# "Subgraphs + backbone" plugin variants (Table IV)
+# ----------------------------------------------------------------------
+def _register_plugin(backbone: str) -> None:
+    @register(f"plugin-{backbone}")
+    def _build(scale: Optional[ExperimentScale], seed: int, overrides: dict) -> BotDetector:
+        return BiasedSubgraphPluginDetector(
+            backbone=backbone, config=bsg4bot_config(scale, seed, overrides)
+        )
+
+
+for _backbone in ("gcn", "gat", "botrgcn"):
+    _register_plugin(_backbone)

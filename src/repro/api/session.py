@@ -1,0 +1,218 @@
+"""Serve-many detection sessions: incremental scoring over a live graph.
+
+A :class:`DetectionSession` wraps a fitted (or artifact-loaded) detector and
+one graph, and exposes the serving workload the experiment scripts never
+needed:
+
+* :meth:`DetectionSession.score_nodes` — probabilities for an arbitrary node
+  subset.  Only the requested centers' subgraphs are built; everything
+  already in the store (or the collated-batch LRU) is reused.
+* :meth:`DetectionSession.update_graph` — apply a streaming graph mutation
+  (new edges, changed node features) and invalidate **only** the stored
+  subgraphs that contain a touched node.  The next ``score_nodes`` call
+  rebuilds exactly those; untouched entries are served from cache.
+* :meth:`DetectionSession.close` — deterministically release the collation
+  caches and the shared construction process pool (also available as a
+  context manager).
+
+.. code-block:: python
+
+    with DetectionSession(detector, graph) as session:
+        probabilities = session.score_nodes([17, 42, 108])
+        session.update_graph(edges_added={"followers": ([17], [42])})
+        probabilities = session.score_nodes([17, 42, 108])  # 17/42 rebuilt only
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.base import BotDetector
+from repro.graph import HeteroGraph
+from repro.sampling.biased import shutdown_shared_pool
+
+
+class DetectionSession:
+    """Stateful facade binding one detector to one graph for serving."""
+
+    def __init__(self, detector: BotDetector, graph: HeteroGraph) -> None:
+        # BSG4Bot and the GNN baselines keep their trained net in ``model``;
+        # the feature-only baselines in ``classifier``.  Either being set
+        # means fit/load has happened.
+        fitted = any(
+            getattr(detector, attribute, None) is not None
+            for attribute in ("model", "classifier")
+        )
+        if not fitted:
+            raise RuntimeError(
+                "DetectionSession requires a fitted or artifact-loaded detector"
+            )
+        self.detector = detector
+        self.graph = graph
+        self._closed = False
+        # Cached full predict_proba for detectors without a subset path,
+        # dropped whenever update_graph mutates anything.
+        self._fallback_probabilities: Optional[np.ndarray] = None
+        current = getattr(detector, "graph", None)
+        if current is not graph:
+            # Point the detector at this session's graph.  BSG4Bot resets its
+            # store/builder for a new graph (the transfer path); full-graph
+            # baselines simply predict on the session graph; subset scorers
+            # without a transfer hook (the plugin detectors) are pinned to
+            # their training graph and must refuse a different one.
+            prepare = getattr(detector, "_prepare_transfer_graph", None)
+            if prepare is not None:
+                prepare(graph)
+            elif current is not None and hasattr(detector, "predict_proba_nodes"):
+                raise ValueError(
+                    f"{type(detector).__name__} is bound to graph {current.name!r} "
+                    "and cannot serve a different graph"
+                )
+
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("DetectionSession is closed")
+
+    @property
+    def store(self):
+        """The detector's subgraph store, if it keeps one (else ``None``)."""
+        return getattr(self.detector, "store", None)
+
+    @property
+    def build_count(self) -> int:
+        """Total subgraphs built so far (serving-path instrumentation)."""
+        store = self.store
+        return int(store.build_count) if store is not None else 0
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def score_nodes(self, node_ids: Iterable[int]) -> np.ndarray:
+        """Bot probabilities for ``node_ids`` (rows follow the given order).
+
+        Routes through the detector's node-subset path when it has one
+        (BSG4Bot and the plugin detectors build/collate subgraphs only for
+        the requested centers); full-graph baselines fall back to slicing
+        their full prediction.
+        """
+        self._check_open()
+        nodes = np.asarray(list(node_ids) if not isinstance(node_ids, np.ndarray) else node_ids)
+        nodes = nodes.astype(np.int64).ravel()
+        if nodes.size and (nodes.min() < 0 or nodes.max() >= self.graph.num_nodes):
+            raise ValueError("node id out of range for the session graph")
+        if nodes.size == 0:
+            return np.zeros((0, 2))
+        subset = getattr(self.detector, "predict_proba_nodes", None)
+        if subset is not None:
+            return subset(nodes)
+        # Full-graph detectors have no subset path; compute the whole
+        # probability matrix once and serve slices until the graph changes.
+        if self._fallback_probabilities is None:
+            self._fallback_probabilities = self.detector.predict_proba(self.graph)
+        return self._fallback_probabilities[nodes]
+
+    def predict_nodes(self, node_ids: Iterable[int]) -> np.ndarray:
+        """Hard labels (0 = human, 1 = bot) for ``node_ids``."""
+        return self.score_nodes(node_ids).argmax(axis=1)
+
+    # ------------------------------------------------------------------
+    # Streaming updates
+    # ------------------------------------------------------------------
+    def update_graph(
+        self,
+        edges_added: Optional[Mapping[str, Tuple[Iterable[int], Iterable[int]]]] = None,
+        nodes_changed: Optional[Iterable[int]] = None,
+    ) -> int:
+        """Apply a graph mutation and invalidate only what it touches.
+
+        ``edges_added`` maps relation name to ``(src, dst)`` arrays appended
+        to the graph; ``nodes_changed`` lists nodes whose features the caller
+        has updated in place (``graph.features[node] = ...``).  Every stored
+        subgraph containing a touched node is dropped, and subsequent
+        :meth:`score_nodes` calls rebuild exactly the stale entries.  Returns
+        the number of invalidated subgraphs.
+
+        The whole mapping is validated before anything is applied, so a bad
+        relation name or endpoint raises with the graph untouched.
+
+        Membership-based invalidation is an approximation: a mutation can in
+        principle shift PPR mass (or the similarity ranking) enough to change
+        the ideal top-k selection of a center whose stored subgraph contains
+        no touched node; such a center keeps its stored subgraph.  Exact
+        invalidation would have to widen to the mutation's PPR reach.
+        """
+        self._check_open()
+        touched = [np.asarray(list(nodes_changed), dtype=np.int64)] if nodes_changed is not None else []
+        # Validate everything up front: update_graph must be atomic — a bad
+        # later entry must not leave earlier relations mutated but
+        # un-invalidated (silently stale scores on retry-with-fix).
+        additions = []
+        num_nodes = self.graph.num_nodes
+        for relation, (src, dst) in (edges_added or {}).items():
+            if relation not in self.graph.relations:
+                raise KeyError(
+                    f"unknown relation {relation!r}; options: {self.graph.relation_names}"
+                )
+            src = np.asarray(src, dtype=np.int64).ravel()
+            dst = np.asarray(dst, dtype=np.int64).ravel()
+            if src.shape != dst.shape:
+                raise ValueError(f"src and dst for {relation!r} must have the same length")
+            for endpoint in (src, dst):
+                if endpoint.size and (endpoint.min() < 0 or endpoint.max() >= num_nodes):
+                    raise ValueError(f"edge endpoint out of range for {relation!r}")
+            additions.append((relation, src, dst))
+        for endpoints in touched:
+            if endpoints.size and (endpoints.min() < 0 or endpoints.max() >= num_nodes):
+                raise ValueError("nodes_changed entry out of range for the session graph")
+        for relation, src, dst in additions:
+            self.graph.add_edges(relation, src, dst)
+            touched.append(src)
+            touched.append(dst)
+        touched_nodes = np.unique(np.concatenate(touched)) if touched else np.empty(0, dtype=np.int64)
+        if touched_nodes.size == 0:
+            return 0  # nothing mutated: keep builders and caches intact
+        self._fallback_probabilities = None
+        invalidate = getattr(self.detector, "invalidate_nodes", None)
+        if invalidate is not None:
+            return int(invalidate(touched_nodes))
+        store = self.store
+        return int(store.invalidate_nodes(touched_nodes)) if store is not None else 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self, release_pool: bool = True) -> None:
+        """Release serving caches and (by default) the construction pool.
+
+        Idempotent.  The worker pool is **process-global** (shared by every
+        builder and session, see :mod:`repro.sampling.biased`): releasing it
+        here frees the worker processes deterministically instead of waiting
+        for the ``atexit`` hook, but a host running several concurrent
+        sessions should pass ``release_pool=False`` and shut the pool down
+        once, when the last session ends (it is lazily respawned if needed).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        store = self.store
+        if store is not None:
+            store.clear_caches()
+        if release_pool:
+            shutdown_shared_pool()
+
+    def __enter__(self) -> "DetectionSession":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"DetectionSession(detector={type(self.detector).__name__}, "
+            f"graph={self.graph.name!r}, {state})"
+        )

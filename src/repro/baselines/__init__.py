@@ -10,11 +10,13 @@ The twelve baselines fall into the paper's five groups:
   :class:`BotMoEDetector`;
 * homophily-aware GNNs — :class:`H2GCNDetector`, :class:`GPRGNNDetector`.
 
-:func:`get_detector` builds any of them (or BSG4Bot itself) by name, which is
-what the experiment harness uses.
+All of them register with the :mod:`repro.api` detector registry, which is
+the blessed construction path (``repro.api.create_detector``); the
+:func:`get_detector` helper kept here delegates to that registry for
+backwards compatibility.
 """
 
-from typing import Callable, Dict, List
+from typing import List
 
 from repro.baselines.feature_only import MLPDetector, RoBERTaDetector
 from repro.baselines.fullgraph import (
@@ -30,36 +32,31 @@ from repro.baselines.relational import BotMoEDetector, BotRGCNDetector, RGTDetec
 from repro.baselines.clustergcn import ClusterGCNDetector
 from repro.baselines.plugin import BiasedSubgraphPluginDetector
 from repro.core.base import BotDetector
-from repro.core.pipeline import BSG4Bot
-
-_DETECTOR_FACTORIES: Dict[str, Callable[..., BotDetector]] = {
-    "roberta": RoBERTaDetector,
-    "mlp": MLPDetector,
-    "gcn": GCNDetector,
-    "gat": GATDetector,
-    "graphsage": GraphSAGEDetector,
-    "clustergcn": ClusterGCNDetector,
-    "slimg": SlimGDetector,
-    "botrgcn": BotRGCNDetector,
-    "rgt": RGTDetector,
-    "botmoe": BotMoEDetector,
-    "h2gcn": H2GCNDetector,
-    "gprgnn": GPRGNNDetector,
-    "bsg4bot": BSG4Bot,
-}
 
 
 def available_detectors() -> List[str]:
     """Names accepted by :func:`get_detector`."""
-    return list(_DETECTOR_FACTORIES.keys())
+    from repro.api.registry import available_detectors as registry_names
+
+    return registry_names()
 
 
 def get_detector(name: str, **kwargs) -> BotDetector:
-    """Instantiate a detector by (case-insensitive) name."""
-    key = name.lower()
-    if key not in _DETECTOR_FACTORIES:
-        raise KeyError(f"unknown detector {name!r}; options: {available_detectors()}")
-    return _DETECTOR_FACTORIES[key](**kwargs)
+    """Instantiate a detector by (case-insensitive) name.
+
+    Legacy entry point: delegates to the :mod:`repro.api` registry with no
+    scale budget applied, so each detector keeps its own defaults and
+    ``kwargs`` become registry overrides (validated against the detector's
+    configuration surface).
+    """
+    # Imported lazily: repro.api registers the detectors defined in this
+    # package, so the module-level import runs the other way around.
+    from repro.api.registry import create_detector
+
+    spec = {"name": name, "scale": None, "overrides": kwargs}
+    if "seed" in kwargs:
+        spec["seed"] = kwargs["seed"]
+    return create_detector(spec)
 
 
 __all__ = [

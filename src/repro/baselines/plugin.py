@@ -112,6 +112,7 @@ class BiasedSubgraphPluginDetector(BotDetector):
         self.store: Optional[SubgraphStore] = None
         self.graph: Optional[HeteroGraph] = None
         self.history: Optional[TrainingHistory] = None
+        self._builder: Optional[BiasedSubgraphBuilder] = None
 
     # ------------------------------------------------------------------
     def fit(self, graph: HeteroGraph) -> TrainingHistory:
@@ -176,18 +177,53 @@ class BiasedSubgraphPluginDetector(BotDetector):
         return history
 
     # ------------------------------------------------------------------
+    def _get_builder(self) -> BiasedSubgraphBuilder:
+        """The construction builder, recreated lazily after invalidation.
+
+        Recreation re-reads the (possibly mutated) graph adjacencies and
+        re-derives the pre-classifier embeddings from the current features,
+        so post-update rebuilds never run against stale structure.
+        """
+        if self._builder is None:
+            config = self.config
+            self._builder = BiasedSubgraphBuilder(
+                self.graph,
+                self.preclassifier.hidden_representations(self.graph.features),
+                k=config.subgraph_k,
+                alpha=config.ppr_alpha,
+                epsilon=config.ppr_epsilon,
+                mix_lambda=config.mix_lambda,
+            )
+        return self._builder
+
     def _ensure_subgraphs(self, nodes: np.ndarray) -> None:
         missing = [int(node) for node in nodes if node not in self.store]
         if missing:
-            self._builder.build_store(missing, store=self.store)
+            self._get_builder().build_store(missing, store=self.store)
+
+    def invalidate_nodes(self, nodes) -> int:
+        """Targeted invalidation after a graph mutation touching ``nodes``.
+
+        Mirrors :meth:`repro.core.BSG4Bot.invalidate_nodes`: stale store
+        entries are dropped and the cached builder reset, so the next
+        ``predict_proba_nodes`` rebuilds only the invalidated centers —
+        against the mutated graph.
+        """
+        self._builder = None
+        if self.store is None:
+            return 0
+        return self.store.invalidate_nodes(nodes)
 
     def _score_nodes(self, nodes: np.ndarray) -> float:
-        probabilities = self._predict_proba_nodes(nodes)
+        probabilities = self.predict_proba_nodes(nodes)
         predictions = probabilities.argmax(axis=1)
         truth = self.graph.labels[nodes]
         return 0.5 * (f1_score(truth, predictions) + accuracy_score(truth, predictions))
 
-    def _predict_proba_nodes(self, nodes: np.ndarray) -> np.ndarray:
+    def predict_proba_nodes(self, nodes: np.ndarray) -> np.ndarray:
+        """Probabilities for just ``nodes`` (the serve-many scoring path)."""
+        if self.model is None:
+            raise RuntimeError("detector must be fitted first")
         nodes = np.asarray(nodes, dtype=np.int64)
         self._ensure_subgraphs(nodes)
         return predict_subgraph_proba(
@@ -199,4 +235,4 @@ class BiasedSubgraphPluginDetector(BotDetector):
             raise RuntimeError("detector must be fitted first")
         if graph is not self.graph:
             raise ValueError("plugin detectors predict on the graph they were trained on")
-        return self._predict_proba_nodes(np.arange(graph.num_nodes))
+        return self.predict_proba_nodes(np.arange(graph.num_nodes))

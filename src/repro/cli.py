@@ -1,35 +1,79 @@
 """Command-line interface for the reproduction.
 
-Three subcommands cover the common workflows:
+Every subcommand goes through :mod:`repro.api` — the CLI constructs, trains,
+persists, and queries detectors exactly the way library consumers do:
 
 ``python -m repro benchmarks``
     Print Table I statistics for the three synthetic benchmarks.
 
-``python -m repro run <experiment> [--scale small|medium] [--seed N]``
-    Run one experiment (``table1`` ... ``fig10``) and print the regenerated
-    table or series.
+``python -m repro run <experiment> [--scale small|medium] [--seed N] [--output DIR]``
+    Run one experiment (``table1`` ... ``fig10``), print the regenerated
+    table or series, and optionally write the raw result JSON (the same
+    schema ``repro report`` consumes).
 
 ``python -m repro report <results_dir> [--experiment ID]``
-    Re-render experiment results previously saved by the benchmark suite.
+    Re-render experiment results previously saved by ``run --output`` or the
+    benchmark suite.
+
+``python -m repro fit <benchmark> --output DIR [--detector NAME] [...]``
+    Train a detector on a synthetic benchmark and persist it as an artifact
+    directory (train once).
+
+``python -m repro score <artifact> [--nodes 1,2,17]``
+    Load a saved artifact, rebuild its benchmark from the recorded
+    provenance, and score the requested nodes (serve many).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional
 
+import numpy as np
+
+import repro
+from repro import api
+from repro.datasets import load_benchmark
 from repro.experiments import EXPERIMENTS, run_experiment, table1
 from repro.experiments.report import render_results_dir
 from repro.experiments.settings import MEDIUM, SMALL
 
 _SCALES = {"small": SMALL, "medium": MEDIUM}
 
+_BENCHMARK_NAMES = ("twibot-20", "twibot-22", "mgtab")
+
+
+def _parse_override(text: str) -> tuple:
+    """Parse one ``key=value`` override; values go through JSON when possible
+    (so ``subgraph_k=8`` is an int and ``use_semantic_attention=false`` a
+    bool) and fall back to the raw string."""
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(f"override {text!r} is not of the form key=value")
+    key, _, raw = text.partition("=")
+    try:
+        value = json.loads(raw)
+    except json.JSONDecodeError:
+        value = raw
+    return key.strip(), value
+
+
+def _parse_nodes(text: str) -> List[int]:
+    try:
+        return [int(part) for part in text.split(",") if part.strip()]
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(f"bad node list {text!r}: {error}") from None
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="BSG4Bot reproduction: run experiments and inspect results.",
+        description="BSG4Bot reproduction: train, persist, and query detectors.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {repro.__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -39,6 +83,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment id")
     run_parser.add_argument("--scale", choices=sorted(_SCALES), default="small")
     run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--output", default=None, metavar="DIR",
+        help="also write the raw result as DIR/<experiment>.json (readable by 'repro report')",
+    )
 
     report_parser = subparsers.add_parser("report", help="render saved benchmark results")
     report_parser.add_argument("results_dir", help="directory with <experiment>.json files")
@@ -46,7 +94,122 @@ def build_parser() -> argparse.ArgumentParser:
         "--experiment", action="append", dest="experiments", default=None,
         help="limit the report to one experiment (repeatable)",
     )
+
+    fit_parser = subparsers.add_parser(
+        "fit", help="train a detector on a synthetic benchmark and save the artifact"
+    )
+    fit_parser.add_argument("benchmark", choices=_BENCHMARK_NAMES)
+    fit_parser.add_argument("--output", required=True, metavar="DIR", help="artifact directory")
+    fit_parser.add_argument("--detector", default="bsg4bot",
+                            help="registry name (see 'repro detectors')")
+    fit_parser.add_argument("--scale", choices=sorted(_SCALES), default="small")
+    fit_parser.add_argument("--seed", type=int, default=0)
+    fit_parser.add_argument(
+        "--override", action="append", dest="overrides", default=[],
+        type=_parse_override, metavar="KEY=VALUE",
+        help="detector config override (repeatable), e.g. --override subgraph_k=8",
+    )
+
+    score_parser = subparsers.add_parser(
+        "score", help="score nodes with a saved detector artifact"
+    )
+    score_parser.add_argument("artifact", help="artifact directory written by 'repro fit'")
+    score_parser.add_argument(
+        "--nodes", type=_parse_nodes, default=None, metavar="N,N,...",
+        help="node ids to score (default: the benchmark's test split)",
+    )
+
+    subparsers.add_parser("detectors", help="list registered detector names")
     return parser
+
+
+def _write_result(output: str, experiment: str, result) -> Path:
+    """Persist a run's raw result in the schema ``repro report`` reads."""
+    directory = Path(output)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{experiment}.json"
+    with open(path, "w") as handle:
+        json.dump(result, handle, indent=2, default=float)
+    return path
+
+
+def _cmd_run(args) -> int:
+    scale = _SCALES[args.scale]
+    module = EXPERIMENTS[args.experiment]
+    kwargs = {"scale": scale}
+    # Every experiment accepts a seed except where it is irrelevant.
+    if "seed" in module.run.__code__.co_varnames:
+        kwargs["seed"] = args.seed
+    result = run_experiment(args.experiment, **kwargs)
+    print(module.format_result(result))
+    if args.output:
+        path = _write_result(args.output, args.experiment, result)
+        print(f"\nresult written to {path}")
+    return 0
+
+
+def _cmd_fit(args) -> int:
+    # Fail before training, not after: only BSG4Bot artifacts are
+    # persistable today, and a detector that cannot be saved would waste the
+    # whole training run.
+    if args.detector.lower() != "bsg4bot":
+        raise SystemExit(
+            f"'repro fit' persists artifacts, which {args.detector!r} does not "
+            "support yet (only 'bsg4bot'); train other detectors "
+            "programmatically via repro.api.create_detector"
+        )
+    scale = _SCALES[args.scale]
+    dataset: Dict[str, object] = {
+        "name": args.benchmark,
+        "num_users": scale.users_for(args.benchmark),
+        "tweets_per_user": scale.tweets_per_user,
+        "seed": args.seed,
+    }
+    print(f"Building {args.benchmark} benchmark ({dataset['num_users']} users)...")
+    benchmark = load_benchmark(**dataset)
+    detector = api.create_detector(
+        {
+            "name": args.detector,
+            "scale": scale,
+            "seed": args.seed,
+            "overrides": dict(args.overrides),
+        }
+    )
+    print(f"Training {args.detector}...")
+    history = detector.fit(benchmark.graph)
+    metrics = detector.evaluate(benchmark.graph)
+    print(
+        f"  {history.num_epochs} epochs ({history.total_time:.1f}s)   "
+        f"test accuracy = {metrics['accuracy']:.2f}   test F1 = {metrics['f1']:.2f}"
+    )
+    path = api.save_detector(detector, args.output, dataset=dataset)
+    print(f"artifact saved to {path}")
+    return 0
+
+
+def _cmd_score(args) -> int:
+    manifest = api.read_manifest(args.artifact)
+    dataset = manifest.get("dataset")
+    if not dataset:
+        raise SystemExit(
+            "artifact has no dataset provenance; score it programmatically via "
+            "repro.api.load_detector(path, graph=...)"
+        )
+    benchmark = load_benchmark(**dataset)
+    detector = api.load_detector(args.artifact, graph=benchmark.graph)
+    nodes = args.nodes if args.nodes is not None else benchmark.graph.test_indices().tolist()
+    with api.DetectionSession(detector, benchmark.graph) as session:
+        probabilities = session.score_nodes(nodes)
+    labels = benchmark.graph.labels
+    print(f"{'node':>8}  {'p(bot)':>8}  {'verdict':<7}  truth")
+    for node, row in zip(nodes, probabilities):
+        verdict = "bot" if row[1] >= 0.5 else "human"
+        truth = "bot" if labels[node] == 1 else "human"
+        print(f"{node:>8}  {row[1]:>8.3f}  {verdict:<7}  {truth}")
+    predictions = probabilities.argmax(axis=1)
+    agreement = float(np.mean(predictions == labels[np.asarray(nodes)])) * 100.0
+    print(f"\n{len(nodes)} nodes scored; agreement with labels: {agreement:.1f}%")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -58,18 +221,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "run":
-        scale = _SCALES[args.scale]
-        module = EXPERIMENTS[args.experiment]
-        kwargs = {"scale": scale}
-        # Every experiment accepts a seed except where it is irrelevant.
-        if "seed" in module.run.__code__.co_varnames:
-            kwargs["seed"] = args.seed
-        result = run_experiment(args.experiment, **kwargs)
-        print(module.format_result(result))
-        return 0
+        return _cmd_run(args)
 
     if args.command == "report":
         print(render_results_dir(args.results_dir, args.experiments))
+        return 0
+
+    if args.command == "fit":
+        return _cmd_fit(args)
+
+    if args.command == "score":
+        return _cmd_score(args)
+
+    if args.command == "detectors":
+        for name in api.available_detectors():
+            print(name)
         return 0
 
     return 1  # pragma: no cover - argparse enforces the choices above

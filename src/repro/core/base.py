@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Dict, Optional
 
 import numpy as np
@@ -38,6 +39,17 @@ class BotDetector:
         indices = np.flatnonzero(mask)
         predictions = self.predict(graph)
         return binary_classification_report(graph.labels[indices], predictions[indices])
+
+    def save(self, path) -> Path:
+        """Persist this trained detector as an artifact directory.
+
+        Delegates to :func:`repro.api.save_detector` (imported lazily — the
+        api layer sits above ``core``); the artifact round-trips through
+        :func:`repro.api.load_detector` without retraining.
+        """
+        from repro.api.artifact import save_detector
+
+        return save_detector(self, path)
 
     def __repr__(self) -> str:
         return f"{self.__class__.__name__}(name={self.name!r})"

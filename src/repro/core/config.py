@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, Optional
 
 
 @dataclass
@@ -14,6 +14,11 @@ class BSG4BotConfig:
     two GNN layers, leaky-ReLU activations, dropout + early stopping) and use
     laptop-scale values elsewhere.  The three ``use_*`` switches implement the
     ablations of Table V.
+
+    Every construction path validates: building an instance directly, through
+    :meth:`with_overrides`, or from a dict (:meth:`from_dict`) raises
+    ``ValueError`` on out-of-range values and names the offending field, so a
+    bad hyper-parameter fails at configuration time rather than mid-training.
     """
 
     # Pre-trained classifier (Section III-C).
@@ -48,9 +53,42 @@ class BSG4BotConfig:
     batch_cache_size: int = 128  # collated batches kept across epochs (0 disables)
     seed: int = 0
 
+    def __post_init__(self) -> None:
+        self.validate()
+
+    @classmethod
+    def field_names(cls) -> tuple:
+        """Names of every configuration field, in declaration order."""
+        return tuple(spec.name for spec in fields(cls))
+
+    @classmethod
+    def _check_known(cls, names) -> None:
+        unknown = sorted(set(names) - set(cls.field_names()))
+        if unknown:
+            raise ValueError(
+                f"unknown BSG4BotConfig field(s) {unknown}; "
+                f"valid fields: {sorted(cls.field_names())}"
+            )
+
     def with_overrides(self, **kwargs) -> "BSG4BotConfig":
-        """Return a copy with the given fields replaced."""
+        """Return a validated copy with the given fields replaced.
+
+        Unknown field names raise ``ValueError`` listing the valid fields, so
+        a typo'd hyper-parameter fails loudly instead of surfacing as a bare
+        dataclass ``TypeError`` (or silently passing through).
+        """
+        self._check_known(kwargs)
         return replace(self, **kwargs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form of the config (JSON-serializable)."""
+        return {name: getattr(self, name) for name in self.field_names()}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BSG4BotConfig":
+        """Rebuild a config saved by :meth:`to_dict`; unknown keys raise."""
+        cls._check_known(data)
+        return cls(**data)
 
     def validate(self) -> None:
         if self.subgraph_k <= 0:

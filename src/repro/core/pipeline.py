@@ -65,17 +65,43 @@ class BSG4Bot(BotDetector):
         self._builder_graph: Optional[HeteroGraph] = None
 
     # ------------------------------------------------------------------
-    # Phase 1: pre-trained classifier
+    # Architecture construction — shared by ``fit`` and artifact loading
+    # (``repro.api.load_detector`` rebuilds the same modules, then restores
+    # their weights instead of training).
     # ------------------------------------------------------------------
-    def _pretrain(self, graph: HeteroGraph, class_weight: Optional[np.ndarray]) -> np.ndarray:
-        start = time.perf_counter()
+    def build_preclassifier(self, num_features: int) -> PretrainedClassifier:
+        """Instantiate the (untrained) pre-classifier for ``num_features``."""
         self.preclassifier = PretrainedClassifier(
-            in_features=graph.num_features,
+            in_features=num_features,
             hidden_dim=self.config.pretrain_hidden_dim,
             lr=self.config.pretrain_lr,
             epochs=self.config.pretrain_epochs,
             seed=self.config.seed,
         )
+        return self.preclassifier
+
+    def build_model(self, num_features: int, relation_names) -> BSG4BotModel:
+        """Instantiate the (untrained) subgraph GNN for the given graph shape."""
+        config = self.config
+        self.model = BSG4BotModel(
+            in_features=num_features,
+            hidden_dim=config.hidden_dim,
+            relation_names=relation_names,
+            num_layers=config.num_layers,
+            dropout=config.dropout,
+            attention_dim=config.attention_dim,
+            use_intermediate_concat=config.use_intermediate_concat,
+            use_semantic_attention=config.use_semantic_attention,
+            rng=np.random.default_rng(config.seed + 1),
+        )
+        return self.model
+
+    # ------------------------------------------------------------------
+    # Phase 1: pre-trained classifier
+    # ------------------------------------------------------------------
+    def _pretrain(self, graph: HeteroGraph, class_weight: Optional[np.ndarray]) -> np.ndarray:
+        start = time.perf_counter()
+        self.build_preclassifier(graph.num_features)
         self.preclassifier.fit_graph(graph, class_weight=class_weight)
         embeddings = self.preclassifier.hidden_representations(graph.features)
         self.phase_times["pretrain"] = time.perf_counter() - start
@@ -216,17 +242,7 @@ class BSG4Bot(BotDetector):
         needed = np.concatenate([train_nodes, val_nodes])
         self.store = self._build_subgraphs(graph, needed)
 
-        self.model = BSG4BotModel(
-            in_features=graph.num_features,
-            hidden_dim=config.hidden_dim,
-            relation_names=graph.relation_names,
-            num_layers=config.num_layers,
-            dropout=config.dropout,
-            attention_dim=config.attention_dim,
-            use_intermediate_concat=config.use_intermediate_concat,
-            use_semantic_attention=config.use_semantic_attention,
-            rng=np.random.default_rng(config.seed + 1),
-        )
+        self.build_model(graph.num_features, graph.relation_names)
         # Snapshot selection breaks validation-score ties toward the lower
         # training loss (``snapshot_tie_break="loss"``): tiny validation
         # splits saturate immediately and keeping the first saturating epoch
@@ -255,7 +271,7 @@ class BSG4Bot(BotDetector):
     def _score_nodes(self, nodes: np.ndarray, metric: str = "f1+accuracy") -> float:
         if nodes.size == 0:
             return 0.0
-        probabilities = self._predict_proba_nodes(nodes)
+        probabilities = self.predict_proba_nodes(nodes)
         predictions = probabilities.argmax(axis=1)
         truth = self.graph.labels[nodes]
         if metric == "f1":
@@ -267,7 +283,14 @@ class BSG4Bot(BotDetector):
     # ------------------------------------------------------------------
     # Inference
     # ------------------------------------------------------------------
-    def _predict_proba_nodes(self, nodes: np.ndarray) -> np.ndarray:
+    def predict_proba_nodes(self, nodes: np.ndarray) -> np.ndarray:
+        """Class probabilities for just ``nodes`` of the attached graph.
+
+        This is the serve-many scoring path: only the requested centers'
+        subgraphs are built (missing ones are topped up through the store
+        cache), and batches run through the cross-epoch collated-batch LRU.
+        Rows are aligned with the requested ``nodes`` order.
+        """
         if self.model is None or self.graph is None:
             raise RuntimeError("BSG4Bot must be fitted before predicting")
         nodes = np.asarray(nodes, dtype=np.int64)
@@ -286,7 +309,23 @@ class BSG4Bot(BotDetector):
         if self.graph is not graph:
             self._prepare_transfer_graph(graph)
         nodes = np.arange(graph.num_nodes)
-        return self._predict_proba_nodes(nodes)
+        return self.predict_proba_nodes(nodes)
+
+    def invalidate_nodes(self, nodes) -> int:
+        """Targeted invalidation after a graph mutation touching ``nodes``.
+
+        Drops exactly the stored subgraphs that contain any touched node and
+        resets the cached builder (its symmetrized adjacencies and pre-
+        classifier embeddings are derived from the mutated graph).  Untouched
+        store entries survive, so the next ``predict_proba_nodes`` call only
+        rebuilds the invalidated centers.  Returns the number of dropped
+        subgraphs.
+        """
+        self.builder = None
+        self._builder_graph = None
+        if self.store is None:
+            return 0
+        return self.store.invalidate_nodes(nodes)
 
     def _prepare_transfer_graph(self, graph: HeteroGraph) -> None:
         """Point the pipeline at an unseen graph (cross-community evaluation).

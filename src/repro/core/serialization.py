@@ -1,9 +1,9 @@
-"""Saving and loading model parameters.
+"""Saving and loading model parameters and detector-artifact manifests.
 
 Trained detectors hold their weights in :class:`repro.tensor.Module`
-instances; these helpers persist a module's ``state_dict`` to a compressed
-``.npz`` file so a trained BSG4Bot (or any baseline) can be reused without
-retraining.
+instances; :func:`save_module_state` / :func:`load_module_state` persist a
+module's ``state_dict`` to a compressed ``.npz`` file so a trained BSG4Bot
+(or any baseline) can be reused without retraining.
 
 .. code-block:: python
 
@@ -14,18 +14,87 @@ retraining.
     ...
     save_module_state(detector.model, path)
     load_module_state(fresh_detector.model, path)
+
+On top of the raw weight files, :func:`write_manifest` / :func:`read_manifest`
+implement the versioned manifest that ties a persistent detector artifact
+together (config + model weights + pre-classifier + subgraph store — see
+:mod:`repro.api.artifact`).  The manifest is plain JSON with a ``format`` tag
+and ``format_version`` so future layout changes stay detectable; anything
+unreadable raises :class:`ArtifactError` with the reason.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
-from typing import Union
+from typing import Any, Dict, Union
 
 import numpy as np
 
 from repro.tensor import Module
 
 PathLike = Union[str, Path]
+
+#: Tag + version stamped into every artifact manifest.
+ARTIFACT_FORMAT = "repro-detector"
+ARTIFACT_VERSION = 1
+
+#: File name of the manifest inside an artifact directory.
+MANIFEST_NAME = "manifest.json"
+
+
+class ArtifactError(RuntimeError):
+    """A detector artifact is missing, corrupted, or incompatible."""
+
+
+def write_manifest(directory: PathLike, payload: Dict[str, Any]) -> Path:
+    """Write the versioned artifact manifest into ``directory``.
+
+    The ``format`` / ``format_version`` keys are stamped here so callers
+    cannot produce an unversioned artifact by accident.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    # Stamp AFTER merging the payload: a payload echoing a loaded manifest
+    # back through here must not smuggle in a stale format/version.
+    manifest = dict(payload)
+    manifest["format"] = ARTIFACT_FORMAT
+    manifest["format_version"] = ARTIFACT_VERSION
+    path = directory / MANIFEST_NAME
+    with open(path, "w") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+    return path
+
+
+def read_manifest(directory: PathLike) -> Dict[str, Any]:
+    """Load and validate the manifest of an artifact directory.
+
+    Raises :class:`ArtifactError` when the manifest is missing, is not valid
+    JSON, carries the wrong format tag, or was written by a newer layout
+    version than this code understands.
+    """
+    directory = Path(directory)
+    path = directory / MANIFEST_NAME
+    if not path.exists():
+        raise ArtifactError(f"no detector artifact at {directory} (missing {MANIFEST_NAME})")
+    try:
+        with open(path) as handle:
+            manifest = handle.read()
+        manifest = json.loads(manifest)
+    except (OSError, json.JSONDecodeError) as error:
+        raise ArtifactError(f"corrupted artifact manifest at {path}: {error}") from error
+    if not isinstance(manifest, dict) or manifest.get("format") != ARTIFACT_FORMAT:
+        raise ArtifactError(
+            f"{path} is not a {ARTIFACT_FORMAT} manifest "
+            f"(format={manifest.get('format') if isinstance(manifest, dict) else None!r})"
+        )
+    version = manifest.get("format_version")
+    if not isinstance(version, int) or version < 1 or version > ARTIFACT_VERSION:
+        raise ArtifactError(
+            f"unsupported artifact version {version!r} at {path}; "
+            f"this build reads versions 1..{ARTIFACT_VERSION}"
+        )
+    return manifest
 
 
 def save_module_state(module: Module, path: PathLike) -> Path:

@@ -2,13 +2,11 @@
 
 from __future__ import annotations
 
-import os
 from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
-from repro.baselines import get_detector
-from repro.core import BSG4Bot, BSG4BotConfig
+from repro.api import create_detector
 from repro.core.base import BotDetector
 from repro.core.trainer import TrainingHistory
 from repro.datasets import BotBenchmark, load_benchmark
@@ -58,35 +56,15 @@ def build_benchmark(name: str, scale: ExperimentScale = SMALL, seed: int = 0) ->
 
 
 def make_detector(name: str, scale: ExperimentScale = SMALL, seed: int = 0, **overrides) -> BotDetector:
-    """Instantiate a detector with the scale's training budget applied."""
-    key = name.lower()
-    if key == "bsg4bot":
-        config = BSG4BotConfig(
-            hidden_dim=scale.hidden_dim,
-            pretrain_hidden_dim=scale.hidden_dim,
-            pretrain_epochs=scale.pretrain_epochs,
-            subgraph_k=scale.subgraph_k,
-            max_epochs=scale.max_epochs,
-            patience=scale.patience,
-            batch_size=scale.batch_size,
-            seed=seed,
-            # Experiment scripts that share a benchmark + seed produce the
-            # same pre-classifier embeddings, so their subgraph stores are
-            # identical; pointing every run at one content-addressed cache
-            # directory lets later figures reuse earlier stores.
-            store_cache_dir=os.environ.get("REPRO_SUBGRAPH_CACHE") or None,
-        )
-        for field_name, value in overrides.items():
-            config = config.with_overrides(**{field_name: value})
-        return BSG4Bot(config)
-    kwargs = dict(
-        hidden_dim=scale.hidden_dim,
-        max_epochs=scale.max_epochs,
-        patience=scale.patience,
-        seed=seed,
+    """Instantiate a detector with the scale's training budget applied.
+
+    Thin wrapper over :func:`repro.api.create_detector`: the registry maps
+    the scale budget onto each detector's configuration surface and
+    validates the override keys.
+    """
+    return create_detector(
+        {"name": name, "scale": scale, "seed": seed, "overrides": overrides}
     )
-    kwargs.update(overrides)
-    return get_detector(key, **kwargs)
 
 
 def evaluate_detector(

@@ -11,26 +11,10 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
-from repro.baselines import BiasedSubgraphPluginDetector
-from repro.core import BSG4BotConfig
 from repro.experiments.runner import build_benchmark, evaluate_detector, format_table, make_detector
 from repro.experiments.settings import SMALL, ExperimentScale
 
 BACKBONES = ["gcn", "gat", "botrgcn"]
-
-
-def _plugin_detector(backbone: str, scale: ExperimentScale, seed: int) -> BiasedSubgraphPluginDetector:
-    config = BSG4BotConfig(
-        hidden_dim=scale.hidden_dim,
-        pretrain_hidden_dim=scale.hidden_dim,
-        pretrain_epochs=scale.pretrain_epochs,
-        subgraph_k=scale.subgraph_k,
-        max_epochs=scale.max_epochs,
-        patience=scale.patience,
-        batch_size=scale.batch_size,
-        seed=seed,
-    )
-    return BiasedSubgraphPluginDetector(backbone=backbone, config=config)
 
 
 def run(
@@ -49,7 +33,7 @@ def run(
         for backbone in backbone_names:
             baseline = make_detector(backbone, scale=scale, seed=seed)
             per_model[backbone] = evaluate_detector(baseline, benchmark)
-            plugin = _plugin_detector(backbone, scale, seed)
+            plugin = make_detector(f"plugin-{backbone}", scale=scale, seed=seed)
             per_model[f"subgraphs+{backbone}"] = evaluate_detector(plugin, benchmark)
         if include_bsg4bot:
             bsg = make_detector("bsg4bot", scale=scale, seed=seed)

@@ -17,9 +17,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
-from repro.core import BSG4Bot, BSG4BotConfig
 from repro.datasets import load_benchmark
-from repro.experiments.runner import evaluate_detector, format_table
+from repro.experiments.runner import evaluate_detector, format_table, make_detector
 from repro.experiments.settings import SMALL, ExperimentScale
 from repro.features.pipeline import FeatureConfig
 
@@ -48,24 +47,12 @@ def _benchmark_for_ablation(name: str, ablation: str, scale: ExperimentScale, se
     )
 
 
-def _config_for_ablation(ablation: str, scale: ExperimentScale, seed: int) -> BSG4BotConfig:
-    config = BSG4BotConfig(
-        hidden_dim=scale.hidden_dim,
-        pretrain_hidden_dim=scale.hidden_dim,
-        pretrain_epochs=scale.pretrain_epochs,
-        subgraph_k=scale.subgraph_k,
-        max_epochs=scale.max_epochs,
-        patience=scale.patience,
-        batch_size=scale.batch_size,
-        seed=seed,
-    )
-    if ablation == "ppr_subgraphs":
-        config = config.with_overrides(use_biased_subgraphs=False)
-    if ablation == "wo_intermediate_concat":
-        config = config.with_overrides(use_intermediate_concat=False)
-    if ablation == "mean_pooling":
-        config = config.with_overrides(use_semantic_attention=False)
-    return config
+#: Config overrides (on top of the scale budget) implementing each ablation.
+_ABLATION_OVERRIDES: Dict[str, Dict[str, bool]] = {
+    "ppr_subgraphs": {"use_biased_subgraphs": False},
+    "wo_intermediate_concat": {"use_intermediate_concat": False},
+    "mean_pooling": {"use_semantic_attention": False},
+}
 
 
 def run(
@@ -89,7 +76,10 @@ def run(
             ):
                 # The paper omits this ablation on TwiBot-20 (no tweet times).
                 continue
-            detector = BSG4Bot(_config_for_ablation(ablation, scale, seed))
+            detector = make_detector(
+                "bsg4bot", scale=scale, seed=seed,
+                **_ABLATION_OVERRIDES.get(ablation, {}),
+            )
             per_ablation[ablation] = evaluate_detector(detector, benchmark)
         results[benchmark_name] = per_ablation
     return results

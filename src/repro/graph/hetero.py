@@ -41,6 +41,29 @@ class RelationStore:
     def num_edges(self) -> int:
         return int(self.src.size)
 
+    def add_edges(self, src: np.ndarray, dst: np.ndarray) -> int:
+        """Append directed edges and drop the cached CSR adjacencies.
+
+        Returns the number of edges appended.  Endpoints are validated the
+        same way as at construction time; the CSR forms are rebuilt lazily on
+        next access, so a burst of updates pays the rebuild once.
+        """
+        src = np.asarray(src, dtype=np.int64).ravel()
+        dst = np.asarray(dst, dtype=np.int64).ravel()
+        if src.shape != dst.shape:
+            raise ValueError("src and dst must have the same length")
+        if src.size == 0:
+            return 0
+        if src.max() >= self.num_nodes or dst.max() >= self.num_nodes:
+            raise ValueError("edge endpoint out of range")
+        if src.min() < 0 or dst.min() < 0:
+            raise ValueError("edge endpoints must be non-negative")
+        self.src = np.concatenate([self.src, src])
+        self.dst = np.concatenate([self.dst, dst])
+        self._csr = None
+        self._csr_t = None
+        return int(src.size)
+
     def adjacency(self) -> sp.csr_matrix:
         """CSR adjacency with A[i, j] = 1 for an edge i -> j (deduplicated)."""
         if self._csr is None:
@@ -132,6 +155,21 @@ class HeteroGraph:
 
     def relation(self, name: str) -> RelationStore:
         return self.relations[name]
+
+    def add_edges(self, relation: str, src: np.ndarray, dst: np.ndarray) -> int:
+        """Append directed edges to one relation (streaming updates).
+
+        Serving-time graph mutation for the online-detection scenario: the
+        relation's cached adjacencies are invalidated, and callers holding
+        derived per-node state (subgraph stores, builders) are expected to
+        invalidate the affected entries — :class:`repro.api.DetectionSession`
+        does that automatically.
+        """
+        if relation not in self.relations:
+            raise KeyError(
+                f"unknown relation {relation!r}; options: {self.relation_names}"
+            )
+        return self.relations[relation].add_edges(src, dst)
 
     def train_indices(self) -> np.ndarray:
         return np.flatnonzero(self.train_mask)

@@ -391,6 +391,10 @@ class SubgraphStore:
         self.cache_capacity = cache_capacity
         self.cache_hits = 0
         self.cache_misses = 0
+        #: Number of subgraphs ever inserted (including replacements and
+        #: disk loads).  Serving-path instrumentation: the delta across a
+        #: ``score_nodes`` call is exactly how many subgraphs were (re)built.
+        self.build_count = 0
 
     def __contains__(self, node: int) -> bool:
         return int(node) in self._store
@@ -407,6 +411,7 @@ class SubgraphStore:
             self._batch_cache.clear()
         self._store[center] = subgraph
         self._center_index = None
+        self.build_count += 1
 
     def get(self, node: int) -> Subgraph:
         return self._store[int(node)]
@@ -447,6 +452,66 @@ class SubgraphStore:
         if mismatch.any():
             raise KeyError(int(nodes[np.argmax(mismatch)]))
         return order[found]
+
+    # ------------------------------------------------------------------
+    # Targeted invalidation (streaming / online detection)
+    # ------------------------------------------------------------------
+    def affected_centers(self, nodes: Iterable[int]) -> np.ndarray:
+        """Centers whose stored subgraph contains any of ``nodes``.
+
+        This is the invalidation set for a graph mutation touching ``nodes``
+        (new edge endpoints, feature updates): a stored subgraph is treated
+        as stale when one of the touched nodes is a member.  That is an
+        approximation — a mutation can shift PPR mass or similarity rankings
+        enough to alter the ideal top-k of a center whose stored subgraph
+        contains no touched node; exact invalidation would widen to the
+        mutation's PPR reach.  One vectorized membership pass over the
+        packed node-id arrays — no per-subgraph Python loop.
+        """
+        nodes = _as_node_array(nodes)
+        if nodes.size == 0 or not self._store:
+            return np.empty(0, dtype=np.int64)
+        subgraphs = list(self._store.values())
+        counts = np.array([sg.num_nodes for sg in subgraphs], dtype=np.int64)
+        flat = np.concatenate([sg.nodes for sg in subgraphs])
+        hits = np.isin(flat, nodes)
+        if not hits.any():
+            return np.empty(0, dtype=np.int64)
+        owners = np.repeat(np.arange(len(subgraphs)), counts)[hits]
+        centers = np.array([sg.center for sg in subgraphs], dtype=np.int64)
+        return centers[np.unique(owners)]
+
+    def discard(self, centers: Iterable[int]) -> int:
+        """Drop the stored subgraphs for ``centers`` (missing ones ignored).
+
+        Removing entries invalidates the flat collation packs and the
+        collated-batch cache; untouched subgraphs themselves are kept (with
+        their cached per-relation normalizations), so the next collation
+        rebuild only re-packs — it does not re-normalize anything.
+        """
+        removed = 0
+        for center in _as_node_array(centers):
+            if self._store.pop(int(center), None) is not None:
+                removed += 1
+        if removed:
+            self._packs = {}
+            self._batch_cache.clear()
+            self._center_index = None
+        return removed
+
+    def invalidate_nodes(self, nodes: Iterable[int]) -> int:
+        """Discard every subgraph containing any of ``nodes``; return count."""
+        return self.discard(self.affected_centers(nodes))
+
+    def clear_caches(self) -> None:
+        """Drop the collated-batch cache and flat packs (subgraphs are kept).
+
+        Deterministic memory release for long-lived serving processes
+        (:meth:`repro.api.DetectionSession.close`); the caches repopulate
+        lazily on the next collation.
+        """
+        self._batch_cache.clear()
+        self._packs = {}
 
     def _collation_pack(self, normalize: bool) -> _CollationPack:
         """Flat collation arrays, (re)built lazily and extended on append."""

@@ -1,0 +1,134 @@
+"""Tests for the ``repro.api`` detector registry and config validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api
+from repro.baselines import available_detectors, get_detector
+from repro.core import BSG4Bot, BSG4BotConfig
+from repro.core.base import BotDetector
+from repro.experiments.runner import make_detector
+
+
+class TestCreateDetector:
+    def test_string_spec_builds_default(self):
+        detector = api.create_detector("bsg4bot")
+        assert isinstance(detector, BSG4Bot)
+
+    def test_dict_spec_with_scale_and_overrides(self, tiny_scale):
+        detector = api.create_detector(
+            {"name": "bsg4bot", "scale": tiny_scale, "seed": 3,
+             "overrides": {"subgraph_k": 3}}
+        )
+        assert detector.config.subgraph_k == 3
+        assert detector.config.max_epochs == tiny_scale.max_epochs
+        assert detector.config.seed == 3
+
+    def test_named_scales_resolve(self):
+        small = api.create_detector({"name": "gcn", "scale": "small"})
+        medium = api.create_detector({"name": "gcn", "scale": "medium"})
+        assert small.max_epochs < medium.max_epochs
+
+    def test_scale_none_keeps_detector_defaults(self):
+        detector = api.create_detector({"name": "gcn", "scale": None})
+        assert detector.max_epochs == 150  # the class default, no budget applied
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="options"):
+            api.create_detector("random-forest")
+
+    def test_unknown_spec_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown spec key"):
+            api.create_detector({"name": "gcn", "scal": "small"})
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            api.create_detector({"name": "gcn", "scale": "galactic"})
+
+    def test_unknown_baseline_override_rejected(self):
+        with pytest.raises(ValueError, match="unknown override"):
+            api.create_detector({"name": "gcn", "overrides": {"hiden_dim": 8}})
+
+    def test_unknown_bsg4bot_override_rejected(self):
+        with pytest.raises(ValueError, match="unknown BSG4BotConfig field"):
+            api.create_detector({"name": "bsg4bot", "overrides": {"subgraph_kk": 8}})
+
+    def test_invalid_config_value_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="subgraph_k"):
+            api.create_detector({"name": "bsg4bot", "overrides": {"subgraph_k": -1}})
+
+    def test_plugin_variants_registered(self):
+        names = api.available_detectors()
+        assert {"plugin-gcn", "plugin-gat", "plugin-botrgcn"} <= set(names)
+
+    def test_fresh_instance_per_call(self):
+        assert api.create_detector("mlp") is not api.create_detector("mlp")
+
+    def test_detectors_satisfy_protocol(self):
+        detector = api.create_detector("mlp")
+        assert isinstance(detector, api.Detector)
+        assert isinstance(detector, BotDetector)
+
+
+class TestRegistryExtension:
+    def test_decorator_registration_and_create(self):
+        registry = api.DetectorRegistry()
+
+        @registry.register("toy")
+        def _build(scale, seed, overrides):
+            detector = api.create_detector("mlp")
+            detector.name = f"toy-{seed}"
+            return detector
+
+        assert "toy" in registry
+        assert registry.create({"name": "toy", "seed": 7}).name == "toy-7"
+
+    def test_duplicate_registration_rejected(self):
+        registry = api.DetectorRegistry()
+        registry.register("dup")(lambda scale, seed, overrides: None)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("dup")(lambda scale, seed, overrides: None)
+        # Explicit replacement is allowed.
+        registry.register("dup", replace=True)(lambda scale, seed, overrides: None)
+
+
+class TestConfigValidation:
+    def test_constructor_validates(self):
+        with pytest.raises(ValueError, match="mix_lambda"):
+            BSG4BotConfig(mix_lambda=1.5)
+
+    def test_with_overrides_validates_values(self):
+        with pytest.raises(ValueError, match="dropout"):
+            BSG4BotConfig().with_overrides(dropout=1.5)
+
+    def test_with_overrides_rejects_unknown_field(self):
+        with pytest.raises(ValueError, match="valid fields"):
+            BSG4BotConfig().with_overrides(subgraf_k=4)
+
+    def test_dict_roundtrip(self):
+        config = BSG4BotConfig(subgraph_k=5, max_epochs=17)
+        clone = BSG4BotConfig.from_dict(config.to_dict())
+        assert clone == config
+
+    def test_from_dict_rejects_unknown_key(self):
+        with pytest.raises(ValueError, match="unknown BSG4BotConfig field"):
+            BSG4BotConfig.from_dict({"subgraph_k": 5, "bogus": 1})
+
+
+class TestLegacyEntryPoints:
+    def test_runner_make_detector_goes_through_registry(self, tiny_scale):
+        detector = make_detector("bsg4bot", scale=tiny_scale, subgraph_k=3)
+        assert isinstance(detector, BSG4Bot)
+        assert detector.config.subgraph_k == 3
+
+    def test_get_detector_keeps_class_defaults(self):
+        assert get_detector("gcn").max_epochs == 150
+
+    def test_get_detector_kwargs_become_overrides(self):
+        detector = get_detector("gcn", hidden_dim=12, max_epochs=15)
+        assert detector.hidden_dim == 12
+        assert detector.max_epochs == 15
+
+    def test_available_detectors_covers_registry(self):
+        assert set(available_detectors()) == set(api.available_detectors())

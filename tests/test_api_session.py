@@ -1,0 +1,262 @@
+"""Tests for ``repro.api.DetectionSession``: serve-many scoring and
+incremental invalidation after graph updates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.core import BSG4Bot, BSG4BotConfig
+from repro.sampling import biased
+from tests.conftest import make_separable_graph
+
+
+def _fit_detector(graph, **config_overrides):
+    config = BSG4BotConfig(
+        pretrain_epochs=10, hidden_dim=8, pretrain_hidden_dim=8,
+        subgraph_k=3, max_epochs=3, min_epochs=1, patience=2, batch_size=16,
+    ).with_overrides(**config_overrides)
+    detector = BSG4Bot(config)
+    detector.fit(graph)
+    return detector
+
+
+@pytest.fixture()
+def served():
+    """A fresh fitted detector + graph per test (sessions mutate state)."""
+    graph = make_separable_graph(num_nodes=60, seed=33)
+    return _fit_detector(graph), graph
+
+
+class TestScoreNodes:
+    def test_rows_follow_requested_order(self, served):
+        detector, graph = served
+        nodes = [11, 3, 27, 5]
+        expected = detector.predict_proba_nodes(np.asarray(nodes))
+        with api.DetectionSession(detector, graph) as session:
+            scores = session.score_nodes(nodes)
+            np.testing.assert_array_equal(scores, expected)
+            # Request order permutes rows, nothing else (one canonical batch).
+            np.testing.assert_array_equal(
+                session.score_nodes(nodes[::-1]), scores[::-1]
+            )
+        # Agreement with the full-graph sweep is approximate only: semantic
+        # attention weights depend on batch composition.
+        np.testing.assert_allclose(scores, detector.predict_proba(graph)[nodes], atol=0.05)
+
+    def test_only_missing_centers_are_built(self, served):
+        detector, graph = served
+        session = api.DetectionSession(detector, graph)
+        stored = set(detector.store.nodes())
+        missing = [n for n in range(graph.num_nodes) if n not in stored][:4]
+        known = list(stored)[:6]
+        before = session.build_count
+        session.score_nodes(known + missing)
+        assert session.build_count - before == len(missing)
+        # A repeated request builds nothing at all.
+        before = session.build_count
+        session.score_nodes(known + missing)
+        assert session.build_count == before
+        session.close()
+
+    def test_empty_request(self, served):
+        detector, graph = served
+        with api.DetectionSession(detector, graph) as session:
+            assert session.score_nodes([]).shape == (0, 2)
+
+    def test_out_of_range_node_rejected(self, served):
+        detector, graph = served
+        with api.DetectionSession(detector, graph) as session:
+            with pytest.raises(ValueError, match="out of range"):
+                session.score_nodes([graph.num_nodes + 5])
+
+    def test_predict_nodes_returns_labels(self, served):
+        detector, graph = served
+        with api.DetectionSession(detector, graph) as session:
+            labels = session.predict_nodes([0, 1, 2])
+        assert set(np.unique(labels)) <= {0, 1}
+
+    def test_full_graph_baseline_fallback(self, served):
+        _, graph = served
+        baseline = api.create_detector(
+            {"name": "mlp", "scale": None,
+             "overrides": {"hidden_dim": 8, "max_epochs": 5, "patience": 2}}
+        )
+        baseline.fit(graph)
+        expected = baseline.predict_proba(graph)
+        calls = []
+        original = baseline.predict_proba
+        baseline.predict_proba = lambda g: calls.append(1) or original(g)
+        with api.DetectionSession(baseline, graph) as session:
+            probabilities = session.score_nodes([4, 9])
+            session.score_nodes([7])  # served from the cached matrix
+            assert len(calls) == 1
+            # A real mutation drops the cache; the next call recomputes.
+            session.update_graph(nodes_changed=[0])
+            session.score_nodes([7])
+            assert len(calls) == 2
+        np.testing.assert_array_equal(probabilities, expected[[4, 9]])
+
+
+class TestUpdateGraph:
+    def test_untouched_entries_survive_update(self, served):
+        """The acceptance check: after ``update_graph``, scoring a 10-node
+        subset rebuilds only the subgraphs a touched node belongs to."""
+        detector, graph = served
+        session = api.DetectionSession(detector, graph)
+        subset = list(detector.store.nodes())[:10]
+        session.score_nodes(subset)  # everything cached now
+
+        src, dst = subset[0], subset[1]
+        affected = set(
+            detector.store.affected_centers([src, dst]).tolist()
+        )
+        untouched = [c for c in subset if c not in affected]
+        untouched_subgraphs = {c: detector.store.get(c) for c in untouched}
+
+        relation = graph.relation_names[0]
+        invalidated = session.update_graph(edges_added={relation: ([src], [dst])})
+        assert invalidated == len(affected)
+        assert 0 < invalidated < len(detector.store.nodes()) + len(affected)
+
+        before = session.build_count
+        session.score_nodes(subset)
+        rebuilt = session.build_count - before
+        assert rebuilt == len(affected & set(subset))
+        assert rebuilt < len(subset)
+        # Untouched centers still serve the very same Subgraph objects.
+        for center, subgraph in untouched_subgraphs.items():
+            assert detector.store.get(center) is subgraph
+        session.close()
+
+    def test_new_edge_lands_in_rebuilt_subgraph_candidates(self, served):
+        detector, graph = served
+        session = api.DetectionSession(detector, graph)
+        relation = graph.relation_names[0]
+        edges_before = graph.relation(relation).num_edges
+        session.update_graph(edges_added={relation: ([0, 1], [2, 3])})
+        assert graph.relation(relation).num_edges == edges_before + 2
+        session.close()
+
+    def test_feature_update_invalidates_containing_subgraphs(self, served):
+        detector, graph = served
+        session = api.DetectionSession(detector, graph)
+        node = detector.store.nodes()[0]
+        graph.features[node] += 0.5
+        invalidated = session.update_graph(nodes_changed=[node])
+        assert invalidated >= 1
+        assert node not in detector.store
+        session.close()
+
+    def test_plugin_detector_rebuilds_against_mutated_graph(self):
+        graph = make_separable_graph(num_nodes=50, seed=44)
+        plugin = api.create_detector(
+            {"name": "plugin-gcn", "scale": None,
+             "overrides": {"pretrain_epochs": 8, "hidden_dim": 8,
+                           "pretrain_hidden_dim": 8, "subgraph_k": 3,
+                           "max_epochs": 2, "min_epochs": 1, "patience": 2,
+                           "batch_size": 16}}
+        )
+        plugin.fit(graph)
+        session = api.DetectionSession(plugin, graph)
+        relation = graph.relation_names[0]
+        old_builder = plugin._get_builder()
+        symmetric = old_builder._relation_adjacency[relation]
+        centers = plugin.store.nodes()
+        src, dst = next(
+            (a, b)
+            for a in centers
+            for b in centers
+            if a != b and symmetric[a, b] == 0
+        )
+        invalidated = session.update_graph(edges_added={relation: ([src], [dst])})
+        assert invalidated >= 1
+        # Rebuilding goes through a fresh builder that sees the new edge
+        # (symmetrized, so exactly two new nonzeros for one directed edge).
+        session.score_nodes([src, dst])
+        new_builder = plugin._get_builder()
+        assert new_builder is not old_builder
+        assert new_builder._relation_adjacency[relation].nnz == symmetric.nnz + 2
+        session.close()
+
+    def test_noop_update(self, served):
+        detector, graph = served
+        with api.DetectionSession(detector, graph) as session:
+            assert session.update_graph() == 0
+
+    def test_unknown_relation_rejected(self, served):
+        detector, graph = served
+        with api.DetectionSession(detector, graph) as session:
+            with pytest.raises(KeyError, match="unknown relation"):
+                session.update_graph(edges_added={"nope": ([0], [1])})
+
+    def test_update_is_atomic_across_relations(self, served):
+        detector, graph = served
+        relation = graph.relation_names[0]
+        edges_before = graph.relation(relation).num_edges
+        store_size = len(detector.store)
+        with api.DetectionSession(detector, graph) as session:
+            with pytest.raises(KeyError, match="unknown relation"):
+                session.update_graph(
+                    edges_added={relation: ([0], [1]), "bogus": ([2], [3])}
+                )
+            with pytest.raises(ValueError, match="out of range"):
+                session.update_graph(
+                    edges_added={relation: ([0], [graph.num_nodes + 1])}
+                )
+        # The valid first entry must not have been applied or invalidated.
+        assert graph.relation(relation).num_edges == edges_before
+        assert len(detector.store) == store_size
+
+    def test_empty_update_keeps_builder_cache(self, served):
+        detector, graph = served
+        builder = detector.builder
+        assert builder is not None
+        relation = graph.relation_names[0]
+        with api.DetectionSession(detector, graph) as session:
+            assert session.update_graph(nodes_changed=[]) == 0
+            assert session.update_graph(edges_added={relation: ([], [])}) == 0
+        assert detector.builder is builder
+
+
+class TestLifecycle:
+    def test_context_manager_closes(self, served):
+        detector, graph = served
+        with api.DetectionSession(detector, graph) as session:
+            session.score_nodes([0])
+        with pytest.raises(RuntimeError, match="closed"):
+            session.score_nodes([0])
+
+    def test_close_is_idempotent_and_releases_pool(self, served):
+        detector, graph = served
+        session = api.DetectionSession(detector, graph)
+        biased.shared_process_pool(1)  # ensure a pool exists
+        session.close()
+        session.close()
+        assert biased._shared_pool is None
+
+    def test_requires_fitted_detector(self, served):
+        _, graph = served
+        with pytest.raises(RuntimeError, match="fitted"):
+            api.DetectionSession(BSG4Bot(), graph)
+
+    def test_loaded_artifact_serves_in_session(self, served, tmp_path):
+        detector, graph = served
+        nodes = np.asarray([1, 2, 3])
+        expected = detector.predict_proba_nodes(nodes)
+        path = api.save_detector(detector, tmp_path / "artifact")
+        loaded = api.load_detector(path, graph=graph)
+        with api.DetectionSession(loaded, graph) as session:
+            np.testing.assert_array_equal(session.score_nodes(nodes), expected)
+
+    def test_shutdown_hook_registered_on_import(self):
+        # The shared pool must not rely on sessions alone: importing the
+        # module registers an atexit hook as a safety net.  (Checked via the
+        # module source — reloading the module to intercept atexit.register
+        # would break pickling of its classes for the process-pool path, and
+        # CPython's atexit registry cannot be enumerated.)
+        import inspect
+
+        source = inspect.getsource(biased)
+        assert "atexit.register(shutdown_shared_pool)" in source

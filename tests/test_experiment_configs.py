@@ -67,15 +67,16 @@ class TestTableConfigLogic:
         per_epoch, epochs, total_hours = table3.PAPER_TABLE3["bsg4bot"]
         assert epochs == 67
 
-    def test_table5_config_for_ablation(self, tiny_scale):
-        full = table5._config_for_ablation("full", tiny_scale, seed=0)
+    def test_table5_ablation_overrides(self, tiny_scale):
+        def config_for(ablation):
+            overrides = table5._ABLATION_OVERRIDES.get(ablation, {})
+            return make_detector("bsg4bot", scale=tiny_scale, **overrides).config
+
+        full = config_for("full")
         assert full.use_biased_subgraphs and full.use_semantic_attention
-        ppr = table5._config_for_ablation("ppr_subgraphs", tiny_scale, seed=0)
-        assert ppr.use_biased_subgraphs is False
-        concat = table5._config_for_ablation("wo_intermediate_concat", tiny_scale, seed=0)
-        assert concat.use_intermediate_concat is False
-        pooling = table5._config_for_ablation("mean_pooling", tiny_scale, seed=0)
-        assert pooling.use_semantic_attention is False
+        assert config_for("ppr_subgraphs").use_biased_subgraphs is False
+        assert config_for("wo_intermediate_concat").use_intermediate_concat is False
+        assert config_for("mean_pooling").use_semantic_attention is False
 
     def test_table5_benchmark_for_feature_ablations(self, tiny_scale):
         without_category = table5._benchmark_for_ablation(
