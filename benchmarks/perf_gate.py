@@ -1,0 +1,185 @@
+"""CI perf-regression gate: fixed-seed micro-benchmarks vs checked-in thresholds.
+
+Runs three small, deterministic micro-benchmarks over the engine's hot paths —
+flat collation, the PPR sweep (dense / column-sparse / sparse-frontier), and
+a batched subgraph build — then compares the timings against
+``benchmarks/thresholds.json`` and exits non-zero when any metric regresses
+beyond its threshold.  Wall-clock thresholds carry a tolerance multiplier
+(CI runners are slower and noisier than dev machines; override with
+``PERF_GATE_TOLERANCE``); speedup *ratios* are machine-normalized and are
+compared directly.  The gate also re-checks the bit-identity contracts, so a
+"fast but wrong" optimization fails CI too.
+
+Writes ``benchmarks/results/BENCH_perfgate.json``.  Run it directly::
+
+    PYTHONPATH=src python benchmarks/perf_gate.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.datasets import load_benchmark
+from repro.ppr import multi_source_ppr
+from repro.sampling import BiasedSubgraphBuilder, collate_many, collate_subgraphs
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_perfgate.json"
+THRESHOLDS_PATH = Path(__file__).parent / "thresholds.json"
+
+NUM_USERS = 200
+BATCH_SIZE = 64
+SUBGRAPH_K = 8
+PPR_NODES = 20_000
+PPR_SOURCES = 128
+
+
+def _best_of(repeats: int, func):
+    """Best-of-N CPU time (stable on shared CI runners)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.process_time()
+        result = func()
+        best = min(best, time.process_time() - start)
+    return best, result
+
+
+def bench_collation(graph, store) -> dict:
+    rng = np.random.default_rng(0)
+    order = rng.permutation(graph.num_nodes)
+    chunks = [order[start : start + BATCH_SIZE] for start in range(0, order.size, BATCH_SIZE)]
+    # Warm both paths (per-subgraph normalization caches / the flat pack).
+    [collate_subgraphs(store.subgraphs(chunk), graph) for chunk in chunks]
+    [collate_many(store, chunk) for chunk in chunks]
+    reference_s, _ = _best_of(
+        3, lambda: [collate_subgraphs(store.subgraphs(c), graph) for c in chunks]
+    )
+    flat_s, _ = _best_of(3, lambda: [collate_many(store, c) for c in chunks])
+    cached_s, _ = _best_of(3, lambda: [store.collate(c) for c in chunks])
+    return {
+        "collation_reference_epoch_s": reference_s,
+        "collation_flat_epoch_s": flat_s,
+        "collation_cached_epoch_s": cached_s,
+        "collation_flat_speedup": reference_s / flat_s,
+        "collation_cached_speedup": reference_s / cached_s,
+    }
+
+
+def bench_ppr() -> dict:
+    rng = np.random.default_rng(7)
+    src = rng.integers(0, PPR_NODES, PPR_NODES * 5)
+    dst = rng.integers(0, PPR_NODES, PPR_NODES * 5)
+    keep = src != dst
+    adjacency = sp.coo_matrix(
+        (np.ones(int(keep.sum())), (src[keep], dst[keep])),
+        shape=(PPR_NODES, PPR_NODES),
+    ).tocsr()
+    adjacency.data[:] = 1.0
+    sources = np.arange(PPR_SOURCES)
+    dense_s, dense = _best_of(
+        2, lambda: multi_source_ppr(adjacency, sources, frontier="dense", sparse_density=0.0)
+    )
+    column_s, column = _best_of(
+        2, lambda: multi_source_ppr(adjacency, sources, frontier="dense")
+    )
+    frontier_stats: dict = {}
+    frontier_s, frontier = _best_of(
+        2,
+        lambda: multi_source_ppr(
+            adjacency, sources, frontier="sparse", stats=frontier_stats
+        ),
+    )
+    # Correctness is part of the gate: a sweep that got faster by diverging
+    # from the reference path must fail CI.
+    assert (dense != column).nnz == 0, "column-sparse PPR diverged from dense"
+    assert (dense != frontier).nnz == 0, "sparse-frontier PPR diverged from dense"
+    return {
+        "ppr_dense_sweep_s": dense_s,
+        "ppr_column_sparse_sweep_s": column_s,
+        "ppr_frontier_sweep_s": frontier_s,
+        "ppr_frontier_speedup": dense_s / frontier_s,
+        "ppr_frontier_peak_fraction": frontier_stats["peak_block_floats"]
+        / (2 * PPR_SOURCES * PPR_NODES),
+    }
+
+
+def bench_build(graph):
+    """Timed full-store build; returns (metrics, store) for reuse downstream."""
+    builder = BiasedSubgraphBuilder(graph, graph.features, k=SUBGRAPH_K)
+    start = time.process_time()
+    store = builder.build_store(range(graph.num_nodes))
+    build_s = time.process_time() - start
+    return {"build_store_s": build_s, "build_subgraphs": len(store)}, store
+
+
+def run(output_path: Path = RESULTS_PATH) -> dict:
+    graph = load_benchmark("mgtab", num_users=NUM_USERS, tweets_per_user=8, seed=0).graph
+    build_metrics, store = bench_build(graph)
+    metrics = {
+        **build_metrics,
+        **bench_collation(graph, store),
+        **bench_ppr(),
+    }
+    result = {
+        "scale": {
+            "num_users": NUM_USERS,
+            "num_nodes": int(graph.num_nodes),
+            "batch_size": BATCH_SIZE,
+            "ppr_nodes": PPR_NODES,
+            "ppr_sources": PPR_SOURCES,
+        },
+        "metrics": metrics,
+    }
+    output_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(output_path, "w") as handle:
+        json.dump(result, handle, indent=2)
+    return result
+
+
+def check(metrics: dict, thresholds: dict, tolerance: float) -> list:
+    """Return a list of human-readable regression descriptions (empty = pass)."""
+    failures = []
+    for name, bounds in thresholds["metrics"].items():
+        if name not in metrics:
+            failures.append(f"{name}: thresholded metric missing from benchmark output")
+            continue
+        value = metrics[name]
+        if "max" in bounds and value > bounds["max"] * tolerance:
+            failures.append(
+                f"{name}: {value:.4f} > {bounds['max']:.4f} * tolerance {tolerance:g}"
+            )
+        if "min" in bounds and value < bounds["min"]:
+            failures.append(f"{name}: {value:.4f} < required minimum {bounds['min']:.4f}")
+    return failures
+
+
+def main() -> int:
+    result = run()
+    metrics = result["metrics"]
+    with open(THRESHOLDS_PATH) as handle:
+        thresholds = json.load(handle)
+    tolerance = float(
+        os.environ.get("PERF_GATE_TOLERANCE", thresholds.get("tolerance", 1.5))
+    )
+    print(f"wrote {RESULTS_PATH}")
+    for name, value in sorted(metrics.items()):
+        print(f"  {name:<34} {value:.4f}")
+    failures = check(metrics, thresholds, tolerance)
+    if failures:
+        print(f"\nPERF GATE FAILED ({len(failures)} regression(s)):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nperf gate OK (tolerance {tolerance:g})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,7 @@ needed:
 
 from __future__ import annotations
 
+import inspect
 from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 import numpy as np
@@ -52,6 +53,10 @@ class DetectionSession:
         self.detector = detector
         self.graph = graph
         self._closed = False
+        # Whether detector.invalidate_nodes accepts the per-relation refresh
+        # kwargs — resolved once (signature introspection is not free and the
+        # answer is constant per session).
+        self._invalidate_takes_relations: Optional[bool] = None
         # Cached full predict_proba for detectors without a subset path,
         # dropped whenever update_graph mutates anything.
         self._fallback_probabilities: Optional[np.ndarray] = None
@@ -145,7 +150,12 @@ class DetectionSession:
         invalidation would have to widen to the mutation's PPR reach.
         """
         self._check_open()
-        touched = [np.asarray(list(nodes_changed), dtype=np.int64)] if nodes_changed is not None else []
+        feature_nodes = (
+            np.unique(np.asarray(list(nodes_changed), dtype=np.int64))
+            if nodes_changed is not None
+            else np.empty(0, dtype=np.int64)
+        )
+        touched = [feature_nodes] if feature_nodes.size else []
         # Validate everything up front: update_graph must be atomic — a bad
         # later entry must not leave earlier relations mutated but
         # un-invalidated (silently stale scores on retry-with-fix).
@@ -167,8 +177,10 @@ class DetectionSession:
         for endpoints in touched:
             if endpoints.size and (endpoints.min() < 0 or endpoints.max() >= num_nodes):
                 raise ValueError("nodes_changed entry out of range for the session graph")
+        touched_relations = []
         for relation, src, dst in additions:
-            self.graph.add_edges(relation, src, dst)
+            if self.graph.add_edges(relation, src, dst):
+                touched_relations.append(relation)
             touched.append(src)
             touched.append(dst)
         touched_nodes = np.unique(np.concatenate(touched)) if touched else np.empty(0, dtype=np.int64)
@@ -177,6 +189,22 @@ class DetectionSession:
         self._fallback_probabilities = None
         invalidate = getattr(self.detector, "invalidate_nodes", None)
         if invalidate is not None:
+            # The session knows exactly which relations gained edges and
+            # which nodes' features changed; detectors that understand the
+            # richer signature refresh their builder per relation instead of
+            # resetting it (legacy detectors get the bare call).
+            if self._invalidate_takes_relations is None:
+                self._invalidate_takes_relations = (
+                    "relations" in inspect.signature(invalidate).parameters
+                )
+            if self._invalidate_takes_relations:
+                return int(
+                    invalidate(
+                        touched_nodes,
+                        relations=touched_relations,
+                        feature_nodes=feature_nodes,
+                    )
+                )
             return int(invalidate(touched_nodes))
         store = self.store
         return int(store.invalidate_nodes(touched_nodes)) if store is not None else 0
@@ -193,6 +221,12 @@ class DetectionSession:
         for the ``atexit`` hook, but a host running several concurrent
         sessions should pass ``release_pool=False`` and shut the pool down
         once, when the last session ends (it is lazily respawned if needed).
+
+        Shared-memory segments are always cleaned up: this detector's
+        builder payload is unlinked here, and ``shutdown_shared_pool``
+        additionally unlinks every registered payload — including those
+        whose worker died mid-build — so a closed session never leaves
+        ``/dev/shm`` segments behind.
         """
         if self._closed:
             return
@@ -200,6 +234,10 @@ class DetectionSession:
         store = self.store
         if store is not None:
             store.clear_caches()
+        for attribute in ("builder", "_builder"):
+            builder = getattr(self.detector, attribute, None)
+            if builder is not None and hasattr(builder, "release_shared"):
+                builder.release_shared()
         if release_pool:
             shutdown_shared_pool()
 

@@ -201,15 +201,32 @@ class BiasedSubgraphPluginDetector(BotDetector):
         if missing:
             self._get_builder().build_store(missing, store=self.store)
 
-    def invalidate_nodes(self, nodes) -> int:
+    def invalidate_nodes(self, nodes, relations=None, feature_nodes=None) -> int:
         """Targeted invalidation after a graph mutation touching ``nodes``.
 
         Mirrors :meth:`repro.core.BSG4Bot.invalidate_nodes`: stale store
-        entries are dropped and the cached builder reset, so the next
-        ``predict_proba_nodes`` rebuilds only the invalidated centers —
-        against the mutated graph.
+        entries are dropped, and the cached builder either gets a
+        per-relation refresh (when the caller names the mutated
+        ``relations`` / ``feature_nodes``) or a conservative full reset, so
+        the next ``predict_proba_nodes`` rebuilds only the invalidated
+        centers — against the mutated graph.
         """
-        self._builder = None
+        if relations is None and feature_nodes is None:
+            self._builder = None
+        elif self._builder is not None:
+            feature_nodes = (
+                np.asarray(list(feature_nodes), dtype=np.int64)
+                if feature_nodes is not None
+                else np.empty(0, dtype=np.int64)
+            )
+            if feature_nodes.size:
+                self._builder.update_embeddings(
+                    feature_nodes,
+                    self.preclassifier.hidden_representations(
+                        self.graph.features[feature_nodes]
+                    ),
+                )
+            self._builder.refresh_relations(relations or [])
         if self.store is None:
             return 0
         return self.store.invalidate_nodes(nodes)

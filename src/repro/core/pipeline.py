@@ -311,18 +311,41 @@ class BSG4Bot(BotDetector):
         nodes = np.arange(graph.num_nodes)
         return self.predict_proba_nodes(nodes)
 
-    def invalidate_nodes(self, nodes) -> int:
+    def invalidate_nodes(self, nodes, relations=None, feature_nodes=None) -> int:
         """Targeted invalidation after a graph mutation touching ``nodes``.
 
-        Drops exactly the stored subgraphs that contain any touched node and
-        resets the cached builder (its symmetrized adjacencies and pre-
-        classifier embeddings are derived from the mutated graph).  Untouched
-        store entries survive, so the next ``predict_proba_nodes`` call only
-        rebuilds the invalidated centers.  Returns the number of dropped
-        subgraphs.
+        Drops exactly the stored subgraphs that contain any touched node, so
+        the next ``predict_proba_nodes`` call only rebuilds the invalidated
+        centers.  Returns the number of dropped subgraphs.
+
+        When the caller describes the mutation — ``relations`` naming the
+        edge lists that changed, ``feature_nodes`` the nodes whose feature
+        rows were rewritten — the cached builder is refreshed *per relation*
+        instead of being thrown away: only the touched relations are
+        re-symmetrized (and lose their prepared push operators), and only
+        the touched embedding rows are recomputed.  Untouched relations keep
+        their adjacency and push operator, which is what keeps
+        high-frequency single-relation edge streams cheap.  A bare
+        ``invalidate_nodes(nodes)`` keeps the conservative behaviour —
+        full builder reset — for callers that cannot describe the mutation.
         """
-        self.builder = None
-        self._builder_graph = None
+        if relations is None and feature_nodes is None:
+            self.builder = None
+            self._builder_graph = None
+        elif self.builder is not None and self._builder_graph is self.graph:
+            feature_nodes = (
+                np.asarray(list(feature_nodes), dtype=np.int64)
+                if feature_nodes is not None
+                else np.empty(0, dtype=np.int64)
+            )
+            if feature_nodes.size:
+                self.builder.update_embeddings(
+                    feature_nodes,
+                    self.preclassifier.hidden_representations(
+                        self.graph.features[feature_nodes]
+                    ),
+                )
+            self.builder.refresh_relations(relations or [])
         if self.store is None:
             return 0
         return self.store.invalidate_nodes(nodes)

@@ -5,13 +5,15 @@ reproduction, adjacency normalisation helpers for GNN layers, homophily
 metrics (Eq. 1 and 2 of the paper), and subgraph extraction utilities.
 """
 
-from repro.graph.hetero import HeteroGraph, RelationStore
+from repro.graph.hetero import HeteroGraph, RelationStore, SharedGraphView
 from repro.graph.homophily import (
     graph_homophily_ratio,
     homophily_buckets,
     node_homophily_ratios,
 )
 from repro.graph.adjacency import (
+    SharedArray,
+    SharedCSR,
     add_self_loops,
     normalized_adjacency,
     row_normalized_adjacency,
@@ -21,6 +23,9 @@ from repro.graph.adjacency import (
 __all__ = [
     "HeteroGraph",
     "RelationStore",
+    "SharedArray",
+    "SharedCSR",
+    "SharedGraphView",
     "node_homophily_ratios",
     "graph_homophily_ratio",
     "homophily_buckets",

@@ -1,6 +1,12 @@
-"""Adjacency normalisation helpers shared by all GNN layers."""
+"""Adjacency normalisation helpers shared by all GNN layers, plus the
+shared-memory transport (:class:`SharedArray` / :class:`SharedCSR`) that lets
+process-pool workers attach CSR adjacencies by name instead of receiving a
+pickled copy per shard."""
 
 from __future__ import annotations
+
+from multiprocessing import resource_tracker, shared_memory
+from typing import Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -45,3 +51,182 @@ def row_normalized_adjacency(adjacency: sp.spmatrix, self_loops: bool = True) ->
     inv[nonzero] = 1.0 / degrees[nonzero]
     scale = sp.diags(inv)
     return (scale @ matrix).tocsr()
+
+
+# ----------------------------------------------------------------------
+# Shared-memory array transport
+#
+# ``ProcessPoolExecutor`` workers used to receive the whole builder — graph,
+# symmetrized adjacencies, embeddings — as one pickle per shard.  A
+# :class:`SharedArray` instead copies an ndarray once into a named POSIX
+# shared-memory segment; what pickles to a worker is just (name, shape,
+# dtype), and the worker maps the same physical pages read-only-by-contract.
+# The creating process owns the segment and must ``unlink`` it (the shared
+# pool's shutdown path does this for every registered payload).
+# ----------------------------------------------------------------------
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker side effects.
+
+    Before 3.13, *attaching* registers the segment with the resource tracker
+    exactly like creating it does.  Forked pool workers share the parent's
+    tracker process, so an attach-then-unregister would remove the parent's
+    own registration and the parent's later unlink would trip a KeyError in
+    the tracker; suppressing the registration during the attach keeps the
+    tracker's books exactly as the creating process wrote them.  3.13+
+    exposes ``track=False`` for precisely this.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        pass
+    original = resource_tracker.register
+
+    def _register_except_shm(resource_name, rtype):
+        if rtype != "shared_memory":
+            original(resource_name, rtype)
+
+    resource_tracker.register = _register_except_shm
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class SharedArray:
+    """One numpy array stored in a named shared-memory segment.
+
+    Pickles to (name, shape, dtype); :meth:`attach` maps the segment and
+    returns a zero-copy ndarray view.  Zero-size arrays are carried inline
+    (POSIX segments cannot be empty).
+    """
+
+    __slots__ = ("name", "shape", "dtype", "_segment", "_inline")
+
+    def __init__(
+        self,
+        name: Optional[str],
+        shape: Tuple[int, ...],
+        dtype: str,
+        inline: Optional[np.ndarray] = None,
+    ) -> None:
+        self.name = name
+        self.shape = tuple(shape)
+        self.dtype = dtype
+        self._segment: Optional[shared_memory.SharedMemory] = None
+        self._inline = inline
+
+    @classmethod
+    def create(cls, array: np.ndarray) -> "SharedArray":
+        """Copy ``array`` into a fresh segment owned by the caller."""
+        array = np.ascontiguousarray(array)
+        if array.size == 0:
+            return cls(None, array.shape, array.dtype.str, inline=array)
+        segment = shared_memory.SharedMemory(create=True, size=array.nbytes)
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+        view[...] = array
+        shared = cls(segment.name, array.shape, array.dtype.str)
+        shared._segment = segment
+        return shared
+
+    def attach(self) -> np.ndarray:
+        """Zero-copy view of the shared array (maps the segment on first use).
+
+        The view is valid only while this :class:`SharedArray` stays alive:
+        numpy does not pin the segment handle, and a garbage-collected
+        ``SharedMemory`` unmaps the pages under the view.  Holders of
+        attached arrays must therefore also hold the ``SharedArray`` (the
+        builder payload does this for every worker).
+        """
+        if self._inline is not None:
+            return self._inline
+        if self._segment is None:
+            self._segment = _attach_segment(self.name)
+        return np.ndarray(self.shape, dtype=np.dtype(self.dtype), buffer=self._segment.buf)
+
+    def close(self) -> None:
+        """Drop this process's mapping (keeps the segment alive elsewhere)."""
+        if self._segment is not None:
+            try:
+                self._segment.close()
+            except BufferError:
+                # A live ndarray still points into the mapping; the view (and
+                # with it the mmap) is released when it is garbage-collected.
+                pass
+            self._segment = None
+
+    def unlink(self) -> None:
+        """Destroy the underlying segment (owner-side; idempotent)."""
+        if self.name is None:
+            return
+        segment = self._segment
+        try:
+            if segment is None:
+                segment = _attach_segment(self.name)
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+        finally:
+            self._segment = segment
+            self.close()
+
+    def __getstate__(self):
+        return (self.name, self.shape, self.dtype, self._inline)
+
+    def __setstate__(self, state):
+        self.name, self.shape, self.dtype, self._inline = state
+        self._segment = None
+
+    def __repr__(self) -> str:
+        return f"SharedArray(name={self.name!r}, shape={self.shape}, dtype={self.dtype})"
+
+
+class SharedCSR:
+    """A CSR matrix whose indptr/indices/data live in shared memory.
+
+    :meth:`attach` rebuilds a :class:`scipy.sparse.csr_matrix` over the
+    mapped arrays without copying, so every pool worker reads the same
+    physical adjacency pages.
+    """
+
+    __slots__ = ("shape", "indptr", "indices", "data")
+
+    def __init__(
+        self, shape: Tuple[int, int], indptr: SharedArray, indices: SharedArray, data: SharedArray
+    ) -> None:
+        self.shape = tuple(shape)
+        self.indptr = indptr
+        self.indices = indices
+        self.data = data
+
+    @classmethod
+    def create(cls, matrix: sp.spmatrix) -> "SharedCSR":
+        matrix = matrix.tocsr()
+        return cls(
+            matrix.shape,
+            SharedArray.create(matrix.indptr),
+            SharedArray.create(matrix.indices),
+            SharedArray.create(matrix.data),
+        )
+
+    def attach(self) -> sp.csr_matrix:
+        return sp.csr_matrix(
+            (self.data.attach(), self.indices.attach(), self.indptr.attach()),
+            shape=self.shape,
+            copy=False,
+        )
+
+    def close(self) -> None:
+        for shared in (self.indptr, self.indices, self.data):
+            shared.close()
+
+    def unlink(self) -> None:
+        for shared in (self.indptr, self.indices, self.data):
+            shared.unlink()
+
+    def __getstate__(self):
+        return (self.shape, self.indptr, self.indices, self.data)
+
+    def __setstate__(self, state):
+        self.shape, self.indptr, self.indices, self.data = state

@@ -15,6 +15,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from repro.graph.adjacency import SharedCSR
+
 
 @dataclass
 class RelationStore:
@@ -94,6 +96,71 @@ class RelationStore:
         if direction == "in":
             return np.asarray(self.adjacency().sum(axis=0)).ravel()
         raise ValueError("direction must be 'out' or 'in'")
+
+
+class _SharedRelationView:
+    """Duck-typed stand-in for :class:`RelationStore` over a shared CSR."""
+
+    __slots__ = ("name", "_shared", "_csr")
+
+    def __init__(self, name: str, shared: SharedCSR) -> None:
+        self.name = name
+        self._shared = shared
+        self._csr: Optional[sp.csr_matrix] = None
+
+    def adjacency(self) -> sp.csr_matrix:
+        if self._csr is None:
+            self._csr = self._shared.attach()
+        return self._csr
+
+    def __getstate__(self):
+        return (self.name, self._shared)
+
+    def __setstate__(self, state):
+        self.name, self._shared = state
+        self._csr = None
+
+
+class SharedGraphView:
+    """Read-only graph stand-in whose adjacencies live in shared memory.
+
+    Carries exactly the subset of :class:`HeteroGraph` the subgraph engines
+    use in pool workers — ``num_nodes``, ``relation_names`` and
+    ``relation(name).adjacency()`` — and pickles to segment names plus
+    shapes.  Segments attach lazily in each worker on first use; the
+    creating process owns them and must call :meth:`unlink` when done (the
+    shared construction pool's shutdown path does this automatically).
+    """
+
+    __slots__ = ("num_nodes", "name", "relations")
+
+    def __init__(self, num_nodes: int, name: str, relations: Dict[str, _SharedRelationView]):
+        self.num_nodes = int(num_nodes)
+        self.name = name
+        self.relations = relations
+
+    @property
+    def relation_names(self) -> List[str]:
+        return list(self.relations.keys())
+
+    def relation(self, name: str) -> _SharedRelationView:
+        return self.relations[name]
+
+    def close(self) -> None:
+        for view in self.relations.values():
+            view._csr = None
+            view._shared.close()
+
+    def unlink(self) -> None:
+        for view in self.relations.values():
+            view._csr = None
+            view._shared.unlink()
+
+    def __getstate__(self):
+        return (self.num_nodes, self.name, self.relations)
+
+    def __setstate__(self, state):
+        self.num_nodes, self.name, self.relations = state
 
 
 class HeteroGraph:
@@ -179,6 +246,24 @@ class HeteroGraph:
 
     def test_indices(self) -> np.ndarray:
         return np.flatnonzero(self.test_mask)
+
+    def share_adjacency(self) -> SharedGraphView:
+        """Copy every relation's CSR adjacency into shared-memory segments.
+
+        Returns a :class:`SharedGraphView` that pool workers can attach by
+        name — no adjacency bytes travel through pickle.  The caller owns
+        the segments and is responsible for ``unlink()`` (builders register
+        their views with the shared-pool lifecycle, which unlinks them on
+        :func:`repro.sampling.biased.shutdown_shared_pool`).
+        """
+        return SharedGraphView(
+            self.num_nodes,
+            self.name,
+            {
+                name: _SharedRelationView(name, SharedCSR.create(rel.adjacency()))
+                for name, rel in self.relations.items()
+            },
+        )
 
     # ------------------------------------------------------------------
     def merged_adjacency(self, symmetric: bool = True) -> sp.csr_matrix:

@@ -27,11 +27,23 @@ through a row-sliced, column-compacted transition.  The two round kinds are
 bit-identical (skipped entries only ever contribute exact ``+0.0`` terms and
 the surviving floating-point operations keep their accumulation order), so
 results never depend on which rounds ran sparse.
+
+The column-sparse rounds save *compute* but the residual block stays dense
+in *memory*: every chunk still allocates ``chunk_rows * num_nodes`` floats,
+which caps the graph size the engine can sweep.  The ``frontier="sparse"``
+path (:func:`_push_chunk_frontier`) lifts that ceiling: residuals and
+estimates live in a block over only the *touched* columns — the sorted union
+of every column that has ever held mass for the chunk — which grows as the
+push spreads and never materialises a ``rows x num_nodes`` array.  Every
+round runs the exact column-compacted arithmetic of the column-sparse round
+above, so the sparse-frontier results are bit-identical to the dense
+reference path (equivalence-tested across alpha/epsilon grids); memory
+scales with ``rows x touched`` instead of ``rows x num_nodes``.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -46,6 +58,19 @@ _DEFAULT_SPARSE_DENSITY = 0.25
 #: Below this dense-block size (live rows x num_nodes) a full-block round is
 #: already cheaper than the slicing overhead of a column-sparse one.
 _SPARSE_MIN_BLOCK = 65_536
+
+#: ``frontier=None`` (auto) switches to the sparse-frontier path at this many
+#: nodes: below it the dense block fits the budget comfortably and its simpler
+#: rounds are faster; above it the ``chunk_rows * num_nodes`` block (and the
+#: tiny chunks the budget forces) dominate.
+_FRONTIER_AUTO_NODES = 100_000
+
+#: Default sources per chunk for the sparse-frontier path.  The block is
+#: ``rows x touched-union`` and the union grows with every source in the
+#: chunk (on well-mixed graphs it approaches the whole node set), so small
+#: chunks keep both the block and the per-round column compaction tight —
+#: empirically ~16 rows is the sweet spot from 50k nodes up.
+_FRONTIER_CHUNK_ROWS = 16
 
 
 class PushOperator:
@@ -78,6 +103,8 @@ def multi_source_ppr(
     chunk_rows: Optional[int] = None,
     prepared: Optional[PushOperator] = None,
     sparse_density: float = _DEFAULT_SPARSE_DENSITY,
+    frontier: Optional[str] = None,
+    stats: Optional[dict] = None,
 ) -> sp.csr_matrix:
     """Approximate PPR scores for many sources at once.
 
@@ -89,6 +116,16 @@ def multi_source_ppr(
     sets the active-column fraction below which a push round runs
     column-sparse (0 forces every round dense, 1 forces every round sparse;
     the results are bit-identical either way).
+
+    ``frontier`` selects the residual storage: ``"dense"`` is the reference
+    path (one ``chunk_rows x num_nodes`` block per chunk), ``"sparse"``
+    keeps residuals only for the touched-column union so memory scales with
+    the push's actual reach, and ``None`` (auto) picks sparse for graphs
+    beyond ``_FRONTIER_AUTO_NODES`` nodes.  The two storages are
+    bit-identical in results, so the choice is purely a space/speed decision.
+    Pass a dict as ``stats`` to receive ``peak_block_floats`` (the largest
+    residual+estimate block allocated, in float64 entries), ``rounds`` and
+    the resolved ``frontier`` mode.
     """
     if not 0.0 < alpha < 1.0:
         raise ValueError("alpha must be in (0, 1)")
@@ -96,11 +133,19 @@ def multi_source_ppr(
         raise ValueError("epsilon must be positive")
     if not 0.0 <= sparse_density <= 1.0:
         raise ValueError("sparse_density must be in [0, 1]")
+    if frontier not in (None, "dense", "sparse"):
+        raise ValueError("frontier must be None, 'dense' or 'sparse'")
     operator = prepared if prepared is not None else PushOperator(adjacency)
     num_nodes = operator.num_nodes
+    if frontier is None:
+        frontier = "sparse" if num_nodes >= _FRONTIER_AUTO_NODES else "dense"
     sources = np.asarray(list(sources), dtype=np.int64)
     if sources.size and (sources.min() < 0 or sources.max() >= num_nodes):
         raise ValueError("source node out of range")
+    if stats is not None:
+        stats.update(
+            {"frontier": frontier, "num_nodes": num_nodes, "rounds": 0, "peak_block_floats": 0}
+        )
     if sources.size == 0:
         return sp.csr_matrix((0, num_nodes))
 
@@ -109,16 +154,33 @@ def multi_source_ppr(
     transition = operator.transition
 
     if chunk_rows is None:
-        chunk_rows = max(1, _DEFAULT_BLOCK_BUDGET // max(num_nodes, 1))
+        if frontier == "sparse":
+            chunk_rows = _FRONTIER_CHUNK_ROWS
+        else:
+            chunk_rows = max(1, _DEFAULT_BLOCK_BUDGET // max(num_nodes, 1))
 
     blocks = []
     for start in range(0, sources.size, chunk_rows):
         chunk = sources[start : start + chunk_rows]
-        blocks.append(
-            _push_chunk(
-                transition, dangling, thresholds, chunk, alpha, max_rounds, sparse_density
+        if frontier == "sparse":
+            blocks.append(
+                _push_chunk_frontier(
+                    transition, dangling, thresholds, chunk, alpha, max_rounds, stats
+                )
             )
-        )
+        else:
+            blocks.append(
+                _push_chunk(
+                    transition,
+                    dangling,
+                    thresholds,
+                    chunk,
+                    alpha,
+                    max_rounds,
+                    sparse_density,
+                    stats,
+                )
+            )
     return sp.vstack(blocks, format="csr") if len(blocks) > 1 else blocks[0]
 
 
@@ -131,6 +193,14 @@ def _retire_converged(live, final, alive, estimates, arrays):
     return [array[live] for array in arrays]
 
 
+def _bump_stats(stats: Optional[dict], block_floats: int) -> None:
+    """Track the peak residual+estimate block size and the round count."""
+    if stats is not None:
+        stats["rounds"] += 1
+        if block_floats > stats["peak_block_floats"]:
+            stats["peak_block_floats"] = block_floats
+
+
 def _push_chunk(
     transition: sp.csr_matrix,
     dangling: np.ndarray,
@@ -139,6 +209,7 @@ def _push_chunk(
     alpha: float,
     max_rounds: int,
     sparse_density: float,
+    stats: Optional[dict] = None,
 ) -> sp.csr_matrix:
     num_nodes = transition.shape[0]
     final = np.zeros((sources.size, num_nodes), dtype=np.float64)
@@ -170,6 +241,7 @@ def _push_chunk(
             columns = np.flatnonzero(full_active.any(axis=0))
         if columns.size == 0:
             break
+        _bump_stats(stats, 2 * alive.size * num_nodes)
 
         # A sparse round only pays off when it skips a *large* dense block;
         # either way the arithmetic is bit-identical, so the gate is purely
@@ -198,6 +270,10 @@ def _push_chunk(
             spread = (transition.T @ pushed.T).T
             if has_dangling:
                 # Dangling nodes return their mass to the originating source.
+                # NB: ``pushed[:, dangling]`` is an F-ordered copy (mask
+                # indexing on axis 1), and numpy's axis-1 reduction rounds
+                # differently on F- vs C-ordered memory — the sparse rounds
+                # replicate this exact layout to stay bit-identical.
                 spread[np.arange(alive.size), live_sources] += pushed[:, dangling].sum(axis=1)
             residuals += (1.0 - alpha) * spread
             column_active = None
@@ -235,10 +311,13 @@ def _push_chunk(
                 if has_dangling:
                     # Scatter the pushed values into a block with one slot
                     # per dangling node before summing, so the reduction runs
-                    # over the same array shape as the dense round (keeps the
-                    # two round kinds bit-identical).
+                    # over the same array shape — **and the same F memory
+                    # order** — as the dense round's ``pushed[:, dangling]``
+                    # slice; numpy's axis-1 sum rounds differently on C- vs
+                    # F-ordered memory, so the layout is part of the
+                    # bit-identity contract.
                     in_dangling = dangling[columns]
-                    returned = np.zeros((alive.size, dangling_columns.size))
+                    returned = np.zeros((alive.size, dangling_columns.size), order="F")
                     if in_dangling.any():
                         returned[
                             :, np.searchsorted(dangling_columns, columns[in_dangling])
@@ -259,3 +338,131 @@ def _push_chunk(
             ).any(axis=0)
     final[alive] = estimates
     return sp.csr_matrix(final)
+
+
+def _push_chunk_frontier(
+    transition: sp.csr_matrix,
+    dangling: np.ndarray,
+    thresholds: np.ndarray,
+    sources: np.ndarray,
+    alpha: float,
+    max_rounds: int,
+    stats: Optional[dict] = None,
+) -> sp.csr_matrix:
+    """Push one chunk with residuals stored only for the touched columns.
+
+    ``touched`` is the sorted union of every global column that has ever held
+    residual or estimate mass for this chunk; ``residuals``/``estimates`` are
+    dense ``(live_rows, touched.size)`` blocks that grow as the push spreads.
+    Every round runs the same column-compacted arithmetic as the
+    column-sparse round of :func:`_push_chunk` — identical operand values in
+    identical accumulation order — so the converged estimates are
+    bit-identical to the dense reference path, while peak memory follows the
+    push's actual reach instead of ``chunk_rows * num_nodes``.
+    """
+    num_nodes = transition.shape[0]
+    empty_i = np.empty(0, dtype=np.int64)
+    empty_f = np.empty(0, dtype=np.float64)
+
+    alive = np.arange(sources.size)
+    live_sources = sources.copy()
+    touched = np.unique(sources)
+    residuals = np.zeros((sources.size, touched.size), dtype=np.float64)
+    residuals[np.arange(sources.size), np.searchsorted(touched, sources)] = 1.0
+    estimates = np.zeros_like(residuals)
+
+    has_dangling = bool(dangling.any())
+    dangling_columns = np.flatnonzero(dangling)
+
+    # Retired rows' sparse estimates, keyed by chunk-row index.
+    finished: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+
+    def retire_rows(keep: np.ndarray) -> None:
+        nonlocal alive, live_sources, residuals, estimates
+        for row, row_estimates in zip(alive[~keep], estimates[~keep]):
+            nonzero = row_estimates != 0.0
+            finished[int(row)] = (touched[nonzero], row_estimates[nonzero].copy())
+        alive = alive[keep]
+        live_sources = live_sources[keep]
+        residuals = residuals[keep]
+        estimates = estimates[keep]
+
+    for _ in range(max_rounds):
+        active = residuals >= thresholds[touched][None, :]
+        columns_local = np.flatnonzero(active.any(axis=0))
+        if columns_local.size == 0:
+            break
+        _bump_stats(stats, 2 * alive.size * touched.size)
+        live = active.any(axis=1)
+        if not live.all():
+            active = active[live]
+            retire_rows(live)
+            if alive.size == 0:
+                break
+
+        # ---- push: identical arithmetic to the column-sparse round ----
+        sub = residuals[:, columns_local]
+        act = active[:, columns_local]
+        pushed = np.where(act, sub, 0.0)
+        estimates[:, columns_local] += alpha * pushed
+        residuals[:, columns_local] = sub - pushed
+
+        columns = touched[columns_local]
+        transition_rows = transition[columns]
+        destinations = np.unique(transition_rows.indices)
+        if has_dangling:
+            destinations = np.union1d(destinations, live_sources)
+        if destinations.size == 0:
+            continue
+        compact = sp.csr_matrix(
+            (
+                transition_rows.data,
+                np.searchsorted(destinations, transition_rows.indices),
+                transition_rows.indptr,
+            ),
+            shape=(columns.size, destinations.size),
+        )
+        spread = (compact.T @ pushed.T).T
+        if has_dangling:
+            # Same shape *and F memory order* as the dense round's
+            # ``pushed[:, dangling]`` slice, so the returned-mass sums stay
+            # bit-identical (numpy's axis-1 reduction is order-sensitive).
+            in_dangling = dangling[columns]
+            returned = np.zeros((alive.size, dangling_columns.size), order="F")
+            if in_dangling.any():
+                returned[
+                    :, np.searchsorted(dangling_columns, columns[in_dangling])
+                ] = pushed[:, in_dangling]
+            spread[
+                np.arange(alive.size), np.searchsorted(destinations, live_sources)
+            ] += returned.sum(axis=1)
+
+        # Grow the touched set with first-time destinations: new columns are
+        # exact zeros in the dense path until this very ``+=``, so extending
+        # the block with zero columns preserves bit-identity.
+        grown = np.setdiff1d(destinations, touched, assume_unique=True)
+        if grown.size:
+            merged = np.union1d(touched, grown)
+            relocate = np.searchsorted(merged, touched)
+            wider = np.zeros((alive.size, merged.size), dtype=np.float64)
+            wider[:, relocate] = residuals
+            residuals = wider
+            wider = np.zeros((alive.size, merged.size), dtype=np.float64)
+            wider[:, relocate] = estimates
+            estimates = wider
+            touched = merged
+        residuals[:, np.searchsorted(touched, destinations)] += (1.0 - alpha) * spread
+
+    retire_rows(np.zeros(alive.size, dtype=bool))
+
+    indptr = np.zeros(sources.size + 1, dtype=np.int64)
+    per_row = [finished.get(row, (empty_i, empty_f)) for row in range(sources.size)]
+    np.cumsum([indices.size for indices, _ in per_row], out=indptr[1:])
+    return sp.csr_matrix(
+        (
+            np.concatenate([data for _, data in per_row]) if per_row else empty_f,
+            np.concatenate([indices for indices, _ in per_row]) if per_row else empty_i,
+            indptr,
+        ),
+        shape=(sources.size, num_nodes),
+    )

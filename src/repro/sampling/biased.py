@@ -32,13 +32,15 @@ bound; see ``tests/test_batched_subgraphs.py``).
 from __future__ import annotations
 
 import atexit
+import uuid
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.graph import HeteroGraph
+from repro.graph import HeteroGraph, SharedArray, SharedCSR
 from repro.ppr import PushOperator, multi_source_ppr
 from repro.sampling.subgraph import Subgraph, SubgraphStore
 
@@ -59,6 +61,114 @@ def _build_shard(builder: "BiasedSubgraphBuilder", nodes: Sequence[int]) -> List
 
 
 # ----------------------------------------------------------------------
+# Shared-memory construction payloads: what used to travel to every worker
+# as one pickle per shard — relation adjacencies (raw + symmetrized) and
+# the node embeddings — now lives in named shared-memory segments.  The
+# payload pickles to segment names and scalar parameters; workers attach
+# the segments lazily on first use and cache the rebuilt builder, so
+# repeated shards (and repeated ``build_store`` calls against the same
+# graph) re-use one mapping of the same physical pages.
+# ----------------------------------------------------------------------
+
+
+class _SharedBuilderPayload:
+    """Shared-memory image of a builder, attachable by name in workers."""
+
+    __slots__ = ("token", "builder_cls", "graph_view", "sym", "embeddings", "params")
+
+    def __init__(self, builder: "BiasedSubgraphBuilder") -> None:
+        self.token = uuid.uuid4().hex
+        self.builder_cls = type(builder)
+        self.graph_view = builder.graph.share_adjacency()
+        self.sym = {
+            name: SharedCSR.create(matrix)
+            for name, matrix in builder._relation_adjacency.items()
+        }
+        self.embeddings = SharedArray.create(builder.node_embeddings)
+        self.params = {
+            "k": builder.k,
+            "alpha": builder.alpha,
+            "epsilon": builder.epsilon,
+            "mix_lambda": builder.mix_lambda,
+            "candidate_multiplier": builder.candidate_multiplier,
+        }
+
+    def materialize(self) -> "BiasedSubgraphBuilder":
+        """Worker-side: rebuild a builder over attached segment views.
+
+        The builder keeps a reference to this payload: the attached numpy
+        views do **not** pin the ``SharedMemory`` handles, and a collected
+        handle unmaps the pages out from under them (``__del__`` → close).
+        """
+        builder = object.__new__(self.builder_cls)
+        builder.graph = self.graph_view
+        builder.node_embeddings = self.embeddings.attach()
+        for name, value in self.params.items():
+            setattr(builder, name, value)
+        builder._relation_adjacency = {
+            name: shared.attach() for name, shared in self.sym.items()
+        }
+        builder._push_operators = {}
+        builder.symmetrization_counts = {}
+        builder._shared_state = self
+        return builder
+
+    def close(self) -> None:
+        self.graph_view.close()
+        for shared in self.sym.values():
+            shared.close()
+        self.embeddings.close()
+
+    def unlink(self) -> None:
+        """Destroy every segment of this payload (idempotent)."""
+        self.graph_view.unlink()
+        for shared in self.sym.values():
+            shared.unlink()
+        self.embeddings.unlink()
+
+
+#: Payloads with live segments, keyed by token.  ``shutdown_shared_pool``
+#: (and therefore ``DetectionSession.close``) unlinks every entry, so a
+#: worker crash mid-build can never leak ``/dev/shm`` segments past the
+#: pool's lifecycle.
+_shared_payload_registry: Dict[str, _SharedBuilderPayload] = {}
+
+
+def _release_payload(token: str) -> None:
+    payload = _shared_payload_registry.pop(token, None)
+    if payload is not None:
+        payload.unlink()
+
+
+def release_shared_segments() -> int:
+    """Unlink every registered shared-memory payload; returns the count."""
+    tokens = list(_shared_payload_registry)
+    for token in tokens:
+        _release_payload(token)
+    return len(tokens)
+
+
+#: Worker-side cache of the most recent payload's materialized builder,
+#: keyed by token.  A new payload (graph changed, embeddings refreshed)
+#: evicts the previous attachment so stale mappings are dropped promptly.
+_worker_builders: Dict[str, Tuple[_SharedBuilderPayload, "BiasedSubgraphBuilder"]] = {}
+
+
+def _build_shard_shared(
+    payload: _SharedBuilderPayload, nodes: Sequence[int]
+) -> List[Subgraph]:
+    """Pool worker entry: attach (or re-use) the shared builder, build."""
+    cached = _worker_builders.get(payload.token)
+    if cached is None:
+        for stale_payload, _ in _worker_builders.values():
+            stale_payload.close()
+        _worker_builders.clear()
+        cached = (payload, payload.materialize())
+        _worker_builders[payload.token] = cached
+    return cached[1].build_batch(nodes)
+
+
+# ----------------------------------------------------------------------
 # Shared worker pool: spawning a process pool costs a fork + interpreter
 # warm-up per worker, which used to be paid on every ``build_store`` call
 # (once per relation sweep, figure and experiment script).  One module-level
@@ -69,13 +179,24 @@ _shared_pool: Optional[ProcessPoolExecutor] = None
 _shared_pool_workers: int = 0
 
 
+def _shutdown_pool_only() -> None:
+    """Stop the worker pool without touching shared-memory segments
+    (pool growth and broken-pool recovery replace the pool while builders'
+    payloads stay live for the next ``map``)."""
+    global _shared_pool, _shared_pool_workers
+    if _shared_pool is not None:
+        _shared_pool.shutdown(wait=True)
+        _shared_pool = None
+        _shared_pool_workers = 0
+
+
 def shared_process_pool(workers: int) -> ProcessPoolExecutor:
     """The shared pool, grown (never shrunk) to at least ``workers`` workers."""
     global _shared_pool, _shared_pool_workers
     if workers <= 0:
         raise ValueError("workers must be positive")
     if _shared_pool is not None and _shared_pool_workers < workers:
-        shutdown_shared_pool()
+        _shutdown_pool_only()
     if _shared_pool is None:
         _shared_pool = ProcessPoolExecutor(max_workers=workers)
         _shared_pool_workers = workers
@@ -83,12 +204,16 @@ def shared_process_pool(workers: int) -> ProcessPoolExecutor:
 
 
 def shutdown_shared_pool() -> None:
-    """Explicitly stop the shared pool (safe to call when none exists)."""
-    global _shared_pool, _shared_pool_workers
-    if _shared_pool is not None:
-        _shared_pool.shutdown(wait=True)
-        _shared_pool = None
-        _shared_pool_workers = 0
+    """Stop the shared pool and unlink every shared-memory payload.
+
+    Safe to call when no pool exists, idempotent, and robust to workers
+    having died mid-build: the pool is shut down first (releasing worker
+    mappings when the processes are still alive; a broken pool's shutdown
+    is a no-op), then every registered segment is unlinked — the kernel
+    frees the pages once the last surviving mapping goes away.
+    """
+    _shutdown_pool_only()
+    release_shared_segments()
 
 
 atexit.register(shutdown_shared_pool)
@@ -122,11 +247,21 @@ class BiasedSubgraphBuilder:
         self.candidate_multiplier = max(candidate_multiplier, 1)
         # PPR runs on the symmetrised relation graphs so that weakly
         # connected neighbours are reachable regardless of edge direction.
-        self._relation_adjacency = {
-            name: (rel.adjacency() + rel.adjacency().T).tocsr()
-            for name, rel in graph.relations.items()
-        }
+        self._relation_adjacency: Dict[str, "sp.csr_matrix"] = {}
         self._push_operators: Dict[str, PushOperator] = {}
+        #: Times each relation has been (re-)symmetrized — the per-relation
+        #: refresh path is asserted against this (untouched relations must
+        #: keep their count across a streaming update).
+        self.symmetrization_counts: Dict[str, int] = {}
+        self._shared_state: Optional[_SharedBuilderPayload] = None
+        for name in graph.relation_names:
+            self._symmetrize(name)
+
+    def _symmetrize(self, relation: str) -> None:
+        """(Re)build one relation's symmetrized PPR adjacency from the graph."""
+        rel = self.graph.relation(relation)
+        self._relation_adjacency[relation] = (rel.adjacency() + rel.adjacency().T).tocsr()
+        self.symmetrization_counts[relation] = self.symmetrization_counts.get(relation, 0) + 1
 
     def _push_operator(self, relation: str) -> PushOperator:
         """Prepared push operator per relation, built on first use."""
@@ -135,6 +270,81 @@ class BiasedSubgraphBuilder:
                 self._relation_adjacency[relation]
             )
         return self._push_operators[relation]
+
+    # ------------------------------------------------------------------
+    # Incremental refresh (streaming graph updates)
+    # ------------------------------------------------------------------
+    def refresh_relations(self, relations: Iterable[str]) -> List[str]:
+        """Re-symmetrize only ``relations`` after their edge lists changed.
+
+        Untouched relations keep their symmetrized adjacency *and* their
+        prepared push operator, which is what makes high-frequency
+        single-relation edge streams cheap — a full builder rebuild pays
+        one symmetrization plus one transition build per relation of the
+        graph.  The shared-memory payload (if any) is released because its
+        segments image the stale adjacency; it is re-shared lazily on the
+        next pooled ``build_store``.
+        """
+        refreshed = []
+        for relation in dict.fromkeys(relations):
+            if relation not in self._relation_adjacency:
+                raise KeyError(
+                    f"unknown relation {relation!r}; options: {list(self._relation_adjacency)}"
+                )
+            self._symmetrize(relation)
+            self._push_operators.pop(relation, None)
+            refreshed.append(relation)
+        if refreshed:
+            self.release_shared()
+        return refreshed
+
+    def update_embeddings(self, nodes: np.ndarray, rows: np.ndarray) -> None:
+        """Patch the similarity embeddings for ``nodes`` in place.
+
+        The classifier embedding of a node depends only on its own feature
+        row, so a feature update needs exactly these rows recomputed — not
+        a new builder.  Releases the shared payload (workers would other-
+        wise keep serving the stale embedding image).
+        """
+        self.node_embeddings[np.asarray(nodes, dtype=np.int64)] = rows
+        self.release_shared()
+
+    # ------------------------------------------------------------------
+    # Shared-memory lifecycle
+    # ------------------------------------------------------------------
+    def share_memory(self) -> _SharedBuilderPayload:
+        """The builder's shared-memory payload, created on first use.
+
+        Registers the payload with the module lifecycle so
+        :func:`shutdown_shared_pool` (and every ``DetectionSession.close``)
+        unlinks its segments even if this builder is dropped without an
+        explicit :meth:`release_shared`.
+        """
+        if (
+            self._shared_state is not None
+            and self._shared_state.token not in _shared_payload_registry
+        ):
+            # A global shutdown unlinked this payload behind the builder's
+            # back (e.g. a DetectionSession closed); share afresh.
+            self._shared_state = None
+        if self._shared_state is None:
+            payload = _SharedBuilderPayload(self)
+            _shared_payload_registry[payload.token] = payload
+            weakref.finalize(self, _release_payload, payload.token)
+            self._shared_state = payload
+        return self._shared_state
+
+    def release_shared(self) -> None:
+        """Unlink this builder's shared segments (no-op when none exist).
+
+        Only the payload *registered in this process* is unlinked, so a
+        worker-materialized builder (whose payload is an attached clone with
+        the same token) can never destroy the owner's segments.
+        """
+        if self._shared_state is not None:
+            if _shared_payload_registry.get(self._shared_state.token) is self._shared_state:
+                _release_payload(self._shared_state.token)
+            self._shared_state = None
 
     # ------------------------------------------------------------------
     # Shared selection logic
@@ -429,15 +639,28 @@ class BiasedSubgraphBuilder:
             shards = [
                 shard for shard in np.array_split(np.asarray(missing), workers) if shard.size
             ]
+            # Workers receive segment names, not the graph: the adjacency
+            # arrays are shared once per builder and attached lazily in each
+            # worker.  Platforms without usable shared memory fall back to
+            # the original pickle-per-shard path.
+            try:
+                task: object = self.share_memory()
+                shard_worker = _build_shard_shared
+            except (OSError, ValueError):
+                task = self
+                shard_worker = _build_shard
             pool = shared_process_pool(workers)
             try:
-                shard_results = list(pool.map(_build_shard, [self] * len(shards), shards))
+                shard_results = list(pool.map(shard_worker, [task] * len(shards), shards))
             except BrokenProcessPool:
                 # A previous task killed a worker; replace the pool once and
-                # retry rather than failing the whole construction.
-                shutdown_shared_pool()
+                # retry rather than failing the whole construction.  The
+                # shared segments survive worker death (they are kernel
+                # objects), so fresh workers simply re-attach the same
+                # payload.
+                _shutdown_pool_only()
                 pool = shared_process_pool(workers)
-                shard_results = list(pool.map(_build_shard, [self] * len(shards), shards))
+                shard_results = list(pool.map(shard_worker, [task] * len(shards), shards))
             for built in shard_results:
                 for subgraph in built:
                     store.add(subgraph)

@@ -471,14 +471,24 @@ class SubgraphStore:
         nodes = _as_node_array(nodes)
         if nodes.size == 0 or not self._store:
             return np.empty(0, dtype=np.int64)
-        subgraphs = list(self._store.values())
-        counts = np.array([sg.num_nodes for sg in subgraphs], dtype=np.int64)
-        flat = np.concatenate([sg.nodes for sg in subgraphs])
+        # A current collation pack already holds every subgraph's node ids
+        # as one flat array (in insertion order); reuse it instead of
+        # re-concatenating the whole store on every streaming update.
+        pack = next(
+            (p for p in self._packs.values() if p.num_subgraphs == len(self._store)),
+            None,
+        )
+        if pack is not None:
+            counts, flat, centers = pack.node_counts, pack.nodes_flat, pack.centers
+        else:
+            subgraphs = list(self._store.values())
+            counts = np.array([sg.num_nodes for sg in subgraphs], dtype=np.int64)
+            flat = np.concatenate([sg.nodes for sg in subgraphs])
+            centers = np.array([sg.center for sg in subgraphs], dtype=np.int64)
         hits = np.isin(flat, nodes)
         if not hits.any():
             return np.empty(0, dtype=np.int64)
-        owners = np.repeat(np.arange(len(subgraphs)), counts)[hits]
-        centers = np.array([sg.center for sg in subgraphs], dtype=np.int64)
+        owners = np.repeat(np.arange(counts.size), counts)[hits]
         return centers[np.unique(owners)]
 
     def discard(self, centers: Iterable[int]) -> int:

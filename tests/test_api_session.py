@@ -170,14 +170,22 @@ class TestUpdateGraph:
             for b in centers
             if a != b and symmetric[a, b] == 0
         )
+        untouched = [r for r in graph.relation_names if r != relation]
+        untouched_counts = {
+            r: old_builder.symmetrization_counts[r] for r in untouched
+        }
         invalidated = session.update_graph(edges_added={relation: ([src], [dst])})
         assert invalidated >= 1
-        # Rebuilding goes through a fresh builder that sees the new edge
-        # (symmetrized, so exactly two new nonzeros for one directed edge).
+        # Rebuilding reuses the cached builder with just the mutated
+        # relation re-symmetrized — it sees the new edge (symmetrized, so
+        # exactly two new nonzeros for one directed edge) while the other
+        # relations keep their adjacencies untouched.
         session.score_nodes([src, dst])
         new_builder = plugin._get_builder()
-        assert new_builder is not old_builder
+        assert new_builder is old_builder
         assert new_builder._relation_adjacency[relation].nnz == symmetric.nnz + 2
+        for r in untouched:
+            assert new_builder.symmetrization_counts[r] == untouched_counts[r]
         session.close()
 
     def test_noop_update(self, served):
@@ -219,6 +227,49 @@ class TestUpdateGraph:
             assert session.update_graph(edges_added={relation: ([], [])}) == 0
         assert detector.builder is builder
 
+    def test_untouched_relations_not_resymmetrized(self, served):
+        """The per-relation refresh: an edge stream into one relation must
+        not re-symmetrize the others (counted by the builder), and the
+        builder itself survives the update."""
+        detector, graph = served
+        builder = detector.builder
+        assert builder is not None
+        touched, untouched = graph.relation_names[0], graph.relation_names[1]
+        counts_before = dict(builder.symmetrization_counts)
+        operators_before = dict(builder._push_operators)
+        session = api.DetectionSession(detector, graph)
+        session.update_graph(edges_added={touched: ([0, 1], [2, 3])})
+        assert detector.builder is builder
+        assert builder.symmetrization_counts[touched] == counts_before[touched] + 1
+        assert builder.symmetrization_counts[untouched] == counts_before[untouched]
+        # The untouched relation even keeps its prepared push operator.
+        if untouched in operators_before:
+            assert builder._push_operators[untouched] is operators_before[untouched]
+        assert touched not in builder._push_operators
+        # ... and the refreshed adjacency actually contains the new edges.
+        assert builder._relation_adjacency[touched][0, 2] == 1.0
+        session.close()
+
+    def test_feature_update_patches_embedding_rows(self, served):
+        detector, graph = served
+        builder = detector.builder
+        node = int(detector.store.nodes()[0])
+        before = builder.node_embeddings.copy()
+        session = api.DetectionSession(detector, graph)
+        graph.features[node] += 1.0
+        session.update_graph(nodes_changed=[node])
+        assert detector.builder is builder  # refreshed in place, not reset
+        expected = detector.preclassifier.hidden_representations(
+            graph.features[np.asarray([node])]
+        )
+        np.testing.assert_array_equal(builder.node_embeddings[node], expected[0])
+        unchanged = np.ones(graph.num_nodes, dtype=bool)
+        unchanged[node] = False
+        np.testing.assert_array_equal(
+            builder.node_embeddings[unchanged], before[unchanged]
+        )
+        session.close()
+
 
 class TestLifecycle:
     def test_context_manager_closes(self, served):
@@ -235,6 +286,38 @@ class TestLifecycle:
         session.close()
         session.close()
         assert biased._shared_pool is None
+
+    def test_double_close_unlinks_segments_after_worker_death(self, served):
+        """The leak guard: shared-memory segments must be unlinked by
+        ``close()`` even when pool workers died mid-build, and a second
+        ``close()`` must be a clean no-op."""
+        import os
+        import signal
+        from multiprocessing import shared_memory
+
+        detector, graph = served
+        session = api.DetectionSession(detector, graph)
+        builder = detector.builder
+        # Force a pooled build so a payload and worker pool exist.
+        missing = [n for n in range(graph.num_nodes) if n not in detector.store][:8]
+        builder.build_store(missing, store=detector.store, workers=2)
+        payload = builder.share_memory()
+        names = [payload.embeddings.name] + [
+            shared.indptr.name for shared in payload.sym.values()
+        ]
+        assert payload.token in biased._shared_payload_registry
+        # Kill the workers mid-lifecycle (simulates a crashed build).
+        pool = biased._shared_pool
+        assert pool is not None
+        for process in list(pool._processes.values()):
+            os.kill(process.pid, signal.SIGKILL)
+        session.close()
+        session.close()  # idempotent
+        assert biased._shared_pool is None
+        assert not biased._shared_payload_registry
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
 
     def test_requires_fitted_detector(self, served):
         _, graph = served

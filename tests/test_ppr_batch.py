@@ -159,3 +159,102 @@ class TestColumnSparseResiduals:
         batch = multi_source_ppr(adjacency, np.arange(30), sparse_density=1.0)
         single = multi_source_ppr(adjacency, [11], sparse_density=1.0)
         assert (batch.getrow(11) != single.getrow(0)).nnz == 0
+
+
+class TestSparseFrontier:
+    """The sparse-frontier residual storage must be *bit-identical* to the
+    dense reference path: the frontier only changes where residuals live in
+    memory, never the arithmetic performed on them."""
+
+    @pytest.mark.parametrize("alpha", [0.1, 0.15, 0.3])
+    @pytest.mark.parametrize("epsilon", [1e-3, 1e-5, 1e-7])
+    def test_frontier_matches_dense_across_grid(self, alpha, epsilon):
+        adjacency = random_graph(60, 0.08, seed=12)
+        sources = np.arange(60)
+        dense = multi_source_ppr(
+            adjacency, sources, alpha=alpha, epsilon=epsilon, frontier="dense"
+        )
+        sparse = multi_source_ppr(
+            adjacency, sources, alpha=alpha, epsilon=epsilon, frontier="sparse"
+        )
+        assert (dense != sparse).nnz == 0
+        np.testing.assert_array_equal(dense.data, sparse.data)
+        np.testing.assert_array_equal(dense.indices, sparse.indices)
+        np.testing.assert_array_equal(dense.indptr, sparse.indptr)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_frontier_matches_dense_with_dangling_nodes(self, seed):
+        rng = np.random.default_rng(seed)
+        dense_matrix = (rng.random((50, 50)) < 0.08).astype(float)
+        np.fill_diagonal(dense_matrix, 0)
+        dense_matrix[rng.choice(50, 7, replace=False)] = 0.0  # dangling rows
+        adjacency = sp.csr_matrix(dense_matrix)
+        dense = multi_source_ppr(adjacency, np.arange(50), epsilon=1e-6, frontier="dense")
+        sparse = multi_source_ppr(adjacency, np.arange(50), epsilon=1e-6, frontier="sparse")
+        assert (dense != sparse).nnz == 0
+        np.testing.assert_array_equal(dense.data, sparse.data)
+
+    def test_frontier_independent_of_chunking(self):
+        adjacency = random_graph(45, 0.1, seed=4)
+        whole = multi_source_ppr(adjacency, np.arange(45), frontier="sparse", chunk_rows=45)
+        chunked = multi_source_ppr(adjacency, np.arange(45), frontier="sparse", chunk_rows=7)
+        assert (whole != chunked).nnz == 0
+
+    def test_frontier_composes_with_column_sparse_rounds(self):
+        """frontier='dense' still runs the column-sparse round gating; all
+        three storage/round combinations agree exactly."""
+        adjacency = random_graph(80, 0.05, seed=9)
+        sources = np.arange(80)
+        reference = multi_source_ppr(
+            adjacency, sources, frontier="dense", sparse_density=0.0
+        )
+        gated = multi_source_ppr(adjacency, sources, frontier="dense")
+        frontier = multi_source_ppr(adjacency, sources, frontier="sparse")
+        assert (reference != gated).nnz == 0
+        assert (reference != frontier).nnz == 0
+
+    def test_auto_mode_matches_explicit(self):
+        adjacency = random_graph(40, 0.1, seed=3)
+        auto = multi_source_ppr(adjacency, np.arange(40))  # small graph -> dense
+        explicit = multi_source_ppr(adjacency, np.arange(40), frontier="sparse")
+        assert (auto != explicit).nnz == 0
+
+    def test_invalid_frontier_rejected(self):
+        adjacency = random_graph(10, 0.3, seed=7)
+        with pytest.raises(ValueError, match="frontier"):
+            multi_source_ppr(adjacency, [0], frontier="bogus")
+
+    def test_stats_report_sublinear_peak_memory(self):
+        """The point of the frontier: the residual block follows the touched
+        set, not ``num_nodes`` — on a locally-converging push the sparse
+        peak must be far below the dense ``rows x num_nodes`` block."""
+        rng = np.random.default_rng(11)
+        n = 10_000
+        src = rng.integers(0, n, n * 3)
+        dst = rng.integers(0, n, n * 3)
+        keep = src != dst
+        adjacency = sp.coo_matrix(
+            (np.ones(int(keep.sum())), (src[keep], dst[keep])), shape=(n, n)
+        ).tocsr()
+        dense_stats: dict = {}
+        sparse_stats: dict = {}
+        sources = np.arange(16)
+        dense = multi_source_ppr(
+            adjacency, sources, epsilon=3e-3, frontier="dense", stats=dense_stats
+        )
+        sparse = multi_source_ppr(
+            adjacency, sources, epsilon=3e-3, frontier="sparse", stats=sparse_stats
+        )
+        assert (dense != sparse).nnz == 0
+        assert dense_stats["frontier"] == "dense"
+        assert sparse_stats["frontier"] == "sparse"
+        assert sparse_stats["rounds"] > 0
+        assert dense_stats["peak_block_floats"] == 2 * sources.size * n
+        assert sparse_stats["peak_block_floats"] < dense_stats["peak_block_floats"] / 4
+
+    def test_empty_sources_with_stats(self):
+        adjacency = random_graph(10, 0.3, seed=6)
+        stats: dict = {}
+        scores = multi_source_ppr(adjacency, [], frontier="sparse", stats=stats)
+        assert scores.shape == (0, 10)
+        assert stats["rounds"] == 0

@@ -1,0 +1,203 @@
+"""Tests for the shared-memory adjacency transport: SharedArray/SharedCSR
+round trips, the builder payload the pool workers attach, and the segment
+lifecycle (`shutdown_shared_pool` must never leak `/dev/shm` segments)."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph import SharedArray, SharedCSR
+from repro.sampling import biased
+from repro.sampling.biased import BiasedSubgraphBuilder, shutdown_shared_pool
+from tests.conftest import make_separable_graph
+
+
+def _segment_gone(name: str) -> bool:
+    from multiprocessing import shared_memory
+
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return True
+    segment.close()
+    return False
+
+
+@pytest.fixture(autouse=True)
+def _clean_segments():
+    """Every test starts and ends with no registered payloads."""
+    shutdown_shared_pool()
+    yield
+    shutdown_shared_pool()
+
+
+class TestSharedArray:
+    def test_round_trip_through_pickle(self):
+        array = np.arange(24, dtype=np.float64).reshape(4, 6)
+        shared = SharedArray.create(array)
+        try:
+            clone = pickle.loads(pickle.dumps(shared))
+            np.testing.assert_array_equal(clone.attach(), array)
+            # The pickle carries segment metadata, not the array bytes.
+            assert len(pickle.dumps(shared)) < 512
+        finally:
+            shared.unlink()
+
+    def test_attach_is_zero_copy(self):
+        array = np.arange(10, dtype=np.int64)
+        shared = SharedArray.create(array)
+        try:
+            first = pickle.loads(pickle.dumps(shared))
+            second = pickle.loads(pickle.dumps(shared))
+            view = first.attach()
+            view[0] = 999  # visible through every other mapping
+            assert second.attach()[0] == 999
+        finally:
+            shared.unlink()
+
+    def test_zero_size_array_is_inline(self):
+        shared = SharedArray.create(np.empty((0, 3), dtype=np.float64))
+        assert shared.name is None
+        clone = pickle.loads(pickle.dumps(shared))
+        assert clone.attach().shape == (0, 3)
+        shared.unlink()  # no-op, must not raise
+
+    def test_unlink_is_idempotent(self):
+        shared = SharedArray.create(np.ones(5))
+        shared.unlink()
+        shared.unlink()
+        assert _segment_gone(shared.name)
+
+
+class TestSharedCSR:
+    def test_round_trip_preserves_matrix(self):
+        rng = np.random.default_rng(0)
+        matrix = sp.random(40, 40, density=0.1, random_state=rng.integers(1 << 30)).tocsr()
+        shared = SharedCSR.create(matrix)
+        try:
+            clone = pickle.loads(pickle.dumps(shared))
+            attached = clone.attach()
+            assert (attached != matrix).nnz == 0
+            np.testing.assert_array_equal(attached.indptr, matrix.indptr)
+            np.testing.assert_array_equal(attached.indices, matrix.indices)
+            np.testing.assert_array_equal(attached.data, matrix.data)
+        finally:
+            shared.unlink()
+
+
+class TestBuilderPayload:
+    def test_workers_see_identical_adjacency_without_repickling(self):
+        """The shared payload replaces the per-shard builder pickle: what a
+        worker receives is ~1 KB of segment names, and the builder it
+        materializes selects exactly the subgraphs of the in-process one."""
+        graph = make_separable_graph(num_nodes=100, seed=7)
+        embeddings = np.asarray(graph.features, dtype=np.float64)
+        builder = BiasedSubgraphBuilder(graph, embeddings, k=4)
+        payload = builder.share_memory()
+
+        wire = pickle.dumps(payload)
+        assert len(wire) < 8192
+        assert len(pickle.dumps(builder)) > len(wire) * 10
+
+        worker_builder = pickle.loads(wire).materialize()
+        for relation in graph.relation_names:
+            ours = builder._relation_adjacency[relation]
+            theirs = worker_builder._relation_adjacency[relation]
+            assert (ours != theirs).nnz == 0
+            raw_ours = graph.relation(relation).adjacency()
+            raw_theirs = worker_builder.graph.relation(relation).adjacency()
+            assert (raw_ours != raw_theirs).nnz == 0
+        np.testing.assert_array_equal(worker_builder.node_embeddings, embeddings)
+
+        reference = builder.build_batch(range(20))
+        attached = worker_builder.build_batch(range(20))
+        for left, right in zip(reference, attached):
+            assert left.center == right.center
+            np.testing.assert_array_equal(left.nodes, right.nodes)
+            for name in left.relation_edges:
+                np.testing.assert_array_equal(
+                    left.relation_edges[name][0], right.relation_edges[name][0]
+                )
+                np.testing.assert_array_equal(
+                    left.relation_edges[name][1], right.relation_edges[name][1]
+                )
+
+    def test_pooled_build_matches_serial(self):
+        graph = make_separable_graph(num_nodes=90, seed=5)
+        embeddings = np.asarray(graph.features, dtype=np.float64)
+        serial = BiasedSubgraphBuilder(graph, embeddings, k=4).build_store(range(40))
+        pooled = BiasedSubgraphBuilder(graph, embeddings, k=4).build_store(
+            range(40), workers=2
+        )
+        assert sorted(serial.nodes()) == sorted(pooled.nodes())
+        for node in serial.nodes():
+            np.testing.assert_array_equal(serial.get(node).nodes, pooled.get(node).nodes)
+
+    def test_share_memory_reuses_payload_until_released(self):
+        graph = make_separable_graph(num_nodes=60, seed=1)
+        builder = BiasedSubgraphBuilder(graph, np.asarray(graph.features), k=3)
+        payload = builder.share_memory()
+        assert builder.share_memory() is payload
+        builder.release_shared()
+        assert payload.token not in biased._shared_payload_registry
+        fresh = builder.share_memory()
+        assert fresh is not payload
+        assert fresh.token in biased._shared_payload_registry
+
+    def test_refresh_releases_stale_payload(self):
+        graph = make_separable_graph(num_nodes=60, seed=2)
+        builder = BiasedSubgraphBuilder(graph, np.asarray(graph.features), k=3)
+        payload = builder.share_memory()
+        name = payload.embeddings.name
+        relation = graph.relation_names[0]
+        graph.add_edges(relation, np.array([0]), np.array([1]))
+        builder.refresh_relations([relation])
+        assert _segment_gone(name)
+        assert builder._shared_state is None
+
+
+class TestSegmentLifecycle:
+    def test_shutdown_unlinks_every_registered_payload(self):
+        graph = make_separable_graph(num_nodes=60, seed=3)
+        builders = [
+            BiasedSubgraphBuilder(graph, np.asarray(graph.features), k=3)
+            for _ in range(2)
+        ]
+        names = []
+        for builder in builders:
+            payload = builder.share_memory()
+            names.append(payload.embeddings.name)
+            names.extend(shared.indptr.name for shared in payload.sym.values())
+        shutdown_shared_pool()
+        assert not biased._shared_payload_registry
+        for name in names:
+            assert _segment_gone(name)
+
+    def test_share_after_global_shutdown_creates_fresh_segments(self):
+        """A builder whose payload was unlinked behind its back (session
+        close, global shutdown) must re-share, not hand out dead names."""
+        graph = make_separable_graph(num_nodes=60, seed=4)
+        builder = BiasedSubgraphBuilder(graph, np.asarray(graph.features), k=3)
+        stale = builder.share_memory()
+        shutdown_shared_pool()
+        fresh = builder.share_memory()
+        assert fresh is not stale
+        assert not _segment_gone(fresh.embeddings.name)
+        # ... and the fresh payload still materializes correctly.
+        clone = pickle.loads(pickle.dumps(fresh)).materialize()
+        assert clone.graph.num_nodes == graph.num_nodes
+
+    def test_builder_garbage_collection_releases_segments(self):
+        import gc
+
+        graph = make_separable_graph(num_nodes=60, seed=6)
+        builder = BiasedSubgraphBuilder(graph, np.asarray(graph.features), k=3)
+        name = builder.share_memory().embeddings.name
+        del builder
+        gc.collect()
+        assert _segment_gone(name)
+        assert not biased._shared_payload_registry
