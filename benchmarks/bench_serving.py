@@ -1,0 +1,62 @@
+"""Serving-layer benchmark: micro-batched vs per-request concurrent scoring.
+
+Thin wrapper around :func:`repro.serving.run_serving_benchmark` that pins
+the recorded scale, writes ``benchmarks/results/BENCH_serving.json`` for the
+perf trajectory, and enforces the serving acceptance floor: micro-batched
+throughput at the largest client count must be at least
+``REPRO_SERVE_BENCH_MIN_SPEEDUP`` (default 3.0) times the naive per-request
+path, with every coalesced wave replaying bit-identically through serial
+scoring and ``DetectionService.close()`` leaving no dispatcher thread,
+shared pool, or shared-memory segment behind (asserted inside the core run).
+
+Not collected by pytest (no ``test_`` prefix); run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py [--clients 1,8,32]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from pathlib import Path
+
+from repro.serving import format_result, run_serving_benchmark
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_serving.json"
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--users", type=int, default=200)
+    parser.add_argument(
+        "--clients",
+        type=lambda text: [int(part) for part in text.split(",") if part.strip()],
+        default=[1, 8, 32],
+    )
+    parser.add_argument("--requests", type=int, default=16)
+    parser.add_argument("--max-batch", type=int, default=64)
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", type=Path, default=RESULTS_PATH)
+    args = parser.parse_args()
+
+    min_speedup = float(os.environ.get("REPRO_SERVE_BENCH_MIN_SPEEDUP", "3.0"))
+    result = run_serving_benchmark(
+        num_users=args.users,
+        clients_ladder=args.clients,
+        requests_per_client=args.requests,
+        max_batch_size=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        seed=args.seed,
+        min_speedup=min_speedup,
+    )
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    with open(args.output, "w") as handle:
+        json.dump(result, handle, indent=2, default=float)
+    print(f"wrote {args.output}")
+    print(format_result(result))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,14 +1,27 @@
-"""CI perf-regression gate: fixed-seed micro-benchmarks vs checked-in thresholds.
+"""CI perf-regression gate: fixed-seed micro-benchmarks vs stored baselines.
 
 Runs three small, deterministic micro-benchmarks over the engine's hot paths —
 flat collation, the PPR sweep (dense / column-sparse / sparse-frontier), and
-a batched subgraph build — then compares the timings against
-``benchmarks/thresholds.json`` and exits non-zero when any metric regresses
-beyond its threshold.  Wall-clock thresholds carry a tolerance multiplier
-(CI runners are slower and noisier than dev machines; override with
-``PERF_GATE_TOLERANCE``); speedup *ratios* are machine-normalized and are
-compared directly.  The gate also re-checks the bit-identity contracts, so a
-"fast but wrong" optimization fails CI too.
+a batched subgraph build — then gates two ways:
+
+* **Absolute bounds** (always): compare against ``benchmarks/thresholds.json``.
+  Wall-clock thresholds carry a tolerance multiplier (CI runners are slower
+  and noisier than dev machines; override with ``PERF_GATE_TOLERANCE``);
+  speedup *ratios* are machine-normalized and are compared directly.
+* **Relative store-and-compare** (when a baseline exists): compare against
+  the stored baseline — the file named by ``PERF_GATE_BASELINE`` (default
+  ``benchmarks/results/BENCH_perfgate_baseline.json``; CI restores it from
+  the actions cache).  Wall-clock metrics may grow at most
+  ``relative_tolerance``x (override: ``PERF_GATE_RELATIVE_TOLERANCE``) over
+  the baseline, ratios may shrink at most that factor — which catches the
+  slow drift the generous absolute bounds cannot.  On success the baseline
+  is updated as a **rolling best** per metric (improvements ratchet in,
+  regressions-within-tolerance do not loosen it), so a sequence of small
+  regressions accumulates against the best recorded run instead of sliding
+  through one tolerance window at a time.
+
+The gate also re-checks the bit-identity contracts, so a "fast but wrong"
+optimization fails CI too.
 
 Writes ``benchmarks/results/BENCH_perfgate.json``.  Run it directly::
 
@@ -32,6 +45,7 @@ from repro.sampling import BiasedSubgraphBuilder, collate_many, collate_subgraph
 
 RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_perfgate.json"
 THRESHOLDS_PATH = Path(__file__).parent / "thresholds.json"
+DEFAULT_BASELINE_PATH = Path(__file__).parent / "results" / "BENCH_perfgate_baseline.json"
 
 NUM_USERS = 200
 BATCH_SIZE = 64
@@ -160,6 +174,71 @@ def check(metrics: dict, thresholds: dict, tolerance: float) -> list:
     return failures
 
 
+def check_relative(
+    metrics: dict, baseline: dict, thresholds: dict, tolerance: float
+) -> list:
+    """Compare against a previous run's metrics (empty list = pass).
+
+    Direction comes from the thresholds entry: ``max``-bounded metrics
+    (wall-clock, memory fractions) must not grow beyond ``baseline *
+    tolerance``; ``min``-bounded metrics (speedup ratios) must not shrink
+    below ``baseline / tolerance``.  Metrics absent from the baseline (e.g.
+    newly added benchmarks) are skipped — the absolute bounds still cover
+    them.
+    """
+    failures = []
+    for name, bounds in thresholds["metrics"].items():
+        if name not in metrics or name not in baseline:
+            continue
+        value, reference = metrics[name], baseline[name]
+        if "max" in bounds and value > reference * tolerance:
+            failures.append(
+                f"{name}: {value:.4f} > baseline {reference:.4f} * "
+                f"relative tolerance {tolerance:g}"
+            )
+        if "min" in bounds and value < reference / tolerance:
+            failures.append(
+                f"{name}: {value:.4f} < baseline {reference:.4f} / "
+                f"relative tolerance {tolerance:g}"
+            )
+    return failures
+
+
+def merge_baseline(metrics: dict, baseline: dict, thresholds: dict) -> dict:
+    """Rolling-best baseline update after a passing run.
+
+    Thresholded metrics keep their best recorded value (lowest for
+    ``max``-bounded wall-clock/memory, highest for ``min``-bounded ratios);
+    everything else takes the current run's value.  Without this, each run
+    overwriting the baseline would let a slow drift pass one
+    relative-tolerance window at a time.
+    """
+    merged = dict(metrics)
+    for name, bounds in thresholds["metrics"].items():
+        if name not in metrics or name not in baseline:
+            continue
+        if "max" in bounds:
+            merged[name] = min(metrics[name], baseline[name])
+        elif "min" in bounds:
+            merged[name] = max(metrics[name], baseline[name])
+    return merged
+
+
+def load_baseline(path: Path) -> dict:
+    """Previous run's metrics, or an empty dict when absent/unreadable.
+
+    A corrupt or truncated baseline (an interrupted cache upload) must never
+    block CI — the gate falls back to the absolute bounds.
+    """
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+        metrics = payload.get("metrics", {})
+        return metrics if isinstance(metrics, dict) else {}
+    except (OSError, ValueError):
+        return {}
+
+
 def main() -> int:
     result = run()
     metrics = result["metrics"]
@@ -168,16 +247,40 @@ def main() -> int:
     tolerance = float(
         os.environ.get("PERF_GATE_TOLERANCE", thresholds.get("tolerance", 1.5))
     )
+    relative_tolerance = float(
+        os.environ.get(
+            "PERF_GATE_RELATIVE_TOLERANCE", thresholds.get("relative_tolerance", 1.6)
+        )
+    )
+    baseline_path = Path(
+        os.environ.get("PERF_GATE_BASELINE", DEFAULT_BASELINE_PATH)
+    )
+    baseline = load_baseline(baseline_path)
     print(f"wrote {RESULTS_PATH}")
     for name, value in sorted(metrics.items()):
         print(f"  {name:<34} {value:.4f}")
     failures = check(metrics, thresholds, tolerance)
+    if baseline:
+        print(
+            f"comparing against baseline {baseline_path} "
+            f"(relative tolerance {relative_tolerance:g})"
+        )
+        failures += check_relative(metrics, baseline, thresholds, relative_tolerance)
+    else:
+        print(f"no baseline at {baseline_path}; absolute thresholds only")
     if failures:
         print(f"\nPERF GATE FAILED ({len(failures)} regression(s)):")
         for failure in failures:
             print(f"  - {failure}")
         return 1
-    print(f"\nperf gate OK (tolerance {tolerance:g})")
+    # Store-and-compare: merge this passing run into the rolling-best
+    # baseline (CI persists the file through the actions cache).
+    baseline_path.parent.mkdir(parents=True, exist_ok=True)
+    stored = dict(result)
+    stored["metrics"] = merge_baseline(metrics, baseline, thresholds)
+    with open(baseline_path, "w") as handle:
+        json.dump(stored, handle, indent=2)
+    print(f"\nperf gate OK (tolerance {tolerance:g}); rolling-best baseline updated")
     return 0
 
 

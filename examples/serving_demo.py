@@ -1,0 +1,106 @@
+"""Serving demo: micro-batched concurrent scoring + streaming graph updates.
+
+Run with::
+
+    python examples/serving_demo.py
+
+The script trains a small BSG4Bot, stands up a
+:class:`repro.serving.DetectionService` on top of it, fires a burst of
+concurrent single-node score requests (watch the batch occupancy — the
+micro-batcher coalesces them into a handful of collated waves), streams a
+few graph mutations through the ordered delta log with read-your-writes
+sequencing, and prints the service telemetry snapshot before shutting
+everything down cleanly.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro import api
+from repro.datasets import load_benchmark
+from repro.serving import DetectionService
+
+
+def main() -> None:
+    print("Building a synthetic MGTAB-style benchmark (300 users)...")
+    benchmark = load_benchmark("mgtab", num_users=300, tweets_per_user=10, seed=0)
+    graph = benchmark.graph
+
+    print("Training BSG4Bot (small serving configuration)...")
+    detector = api.create_detector(
+        {
+            "name": "bsg4bot",
+            "scale": None,
+            "seed": 0,
+            "overrides": {
+                "pretrain_epochs": 40, "hidden_dim": 16, "pretrain_hidden_dim": 16,
+                "subgraph_k": 6, "max_epochs": 10, "patience": 4,
+            },
+        }
+    )
+    history = detector.fit(graph)
+    print(f"  converged after {history.num_epochs} epochs ({history.total_time:.1f}s)")
+
+    with DetectionService(detector, graph, max_batch_size=64, max_wait_ms=3.0) as service:
+        print(f"\nWarmup: {service.warmup() * 1e3:.1f} ms")
+
+        print("Firing 32 concurrent single-node score requests...")
+        rng = np.random.default_rng(7)
+        nodes = rng.integers(0, graph.num_nodes, size=32)
+        verdicts: dict = {}
+
+        def client(node: int) -> None:
+            verdicts[node] = service.score([node])[0, 1]
+
+        threads = [threading.Thread(target=client, args=(int(n),)) for n in nodes]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snapshot = service.snapshot()
+        print(
+            f"  {snapshot['requests']} requests served in {snapshot['waves']} waves "
+            f"(occupancy {snapshot['batch_occupancy']:.1f} rows/wave, "
+            f"p99 latency {snapshot['request_latency']['p99_s'] * 1e3:.1f} ms)"
+        )
+
+        bots = sorted(verdicts, key=lambda n: -verdicts[n])[:3]
+        for node in bots:
+            print(f"  node {node:>4}: p(bot) = {verdicts[node]:.3f}")
+
+        print("\nStreaming updates (ordered delta log, read-your-writes)...")
+        suspect = bots[0]
+        relation = graph.relation_names[0]
+        targets = rng.integers(0, graph.num_nodes, size=5)
+        seq = service.submit_update(
+            edges_added={relation: (np.full(5, suspect), targets)}
+        )
+        handle = service.submit([suspect])
+        after = handle.result(30.0)[0, 1]
+        print(
+            f"  delta #{seq} (5 new '{relation}' edges) applied before the wave "
+            f"(served at log prefix {handle.delta_seq}): "
+            f"p(bot|node {suspect}) {verdicts[suspect]:.3f} -> {after:.3f}"
+        )
+
+        new_row = graph.features[suspect] * 0.5
+        service.submit_update(features_changed={int(suspect): new_row})
+        service.drain()
+        print(f"  feature rewrite applied; log prefix {service.delta_log.applied_seq}")
+
+        snapshot = service.snapshot()
+        print(
+            f"\nTelemetry: {snapshot['deltas_applied']} deltas applied, "
+            f"{snapshot['subgraphs_invalidated']} subgraphs invalidated, "
+            f"{snapshot['subgraphs_built']} built, "
+            f"cache {snapshot['store_cache_hits']} hits / "
+            f"{snapshot['store_cache_misses']} misses"
+        )
+    print("Service closed: dispatcher stopped, pool and shared segments released.")
+
+
+if __name__ == "__main__":
+    main()

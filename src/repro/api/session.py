@@ -26,6 +26,7 @@ needed:
 from __future__ import annotations
 
 import inspect
+import threading
 from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 import numpy as np
@@ -35,8 +36,75 @@ from repro.graph import HeteroGraph
 from repro.sampling.biased import shutdown_shared_pool
 
 
+def validate_edge_additions(
+    graph: HeteroGraph,
+    edges_added: Optional[Mapping[str, Tuple[Iterable[int], Iterable[int]]]],
+) -> list:
+    """Validate and normalize an ``edges_added`` mapping against ``graph``.
+
+    Returns ``[(relation, src, dst)]`` with flat ``int64`` endpoint arrays;
+    raises (``KeyError`` for an unknown relation, ``ValueError`` for
+    mismatched or out-of-range endpoints) without mutating anything.  The
+    single source of truth for edge-delta validation — shared by
+    :meth:`DetectionSession.update_graph`'s atomic path and the serving
+    :class:`repro.serving.DeltaLog`'s append-time validation, so the two
+    can never drift apart.
+    """
+    additions = []
+    num_nodes = graph.num_nodes
+    for relation, (src, dst) in (edges_added or {}).items():
+        if relation not in graph.relations:
+            raise KeyError(
+                f"unknown relation {relation!r}; options: {graph.relation_names}"
+            )
+        src = np.asarray(src, dtype=np.int64).ravel()
+        dst = np.asarray(dst, dtype=np.int64).ravel()
+        if src.shape != dst.shape:
+            raise ValueError(f"src and dst for {relation!r} must have the same length")
+        for endpoint in (src, dst):
+            if endpoint.size and (endpoint.min() < 0 or endpoint.max() >= num_nodes):
+                raise ValueError(f"edge endpoint out of range for {relation!r}")
+        additions.append((relation, src, dst))
+    return additions
+
+
+def validate_feature_rows(
+    graph: HeteroGraph,
+    features_changed: Optional[Mapping[int, Iterable[float]]],
+) -> Dict[int, np.ndarray]:
+    """Validate and normalize a ``features_changed`` mapping against ``graph``.
+
+    Returns ``{node: row}`` with rows coerced to the graph's feature dtype;
+    raises ``ValueError`` for an out-of-range node or a row of the wrong
+    width, without mutating anything.  Companion of
+    :func:`validate_edge_additions`, shared by
+    :meth:`DetectionSession.apply_delta` and the serving delta log.
+    """
+    rows: Dict[int, np.ndarray] = {}
+    num_nodes = graph.num_nodes
+    width = graph.num_features
+    for node, row in (features_changed or {}).items():
+        node = int(node)
+        if not 0 <= node < num_nodes:
+            raise ValueError(f"feature node {node} out of range")
+        row = np.asarray(row, dtype=graph.features.dtype).ravel()
+        if row.size != width:
+            raise ValueError(
+                f"feature row for node {node} has width {row.size}, graph has {width}"
+            )
+        rows[node] = row
+    return rows
+
+
 class DetectionSession:
-    """Stateful facade binding one detector to one graph for serving."""
+    """Stateful facade binding one detector to one graph for serving.
+
+    Safe under concurrent callers: scoring, updates, and close are
+    serialized by one reentrant lock, so interleaved threads observe
+    results bit-identical to some serial order of their calls.  For
+    coalescing concurrent traffic into shared batches (rather than merely
+    surviving it), see :class:`repro.serving.DetectionService`.
+    """
 
     def __init__(self, detector: BotDetector, graph: HeteroGraph) -> None:
         # BSG4Bot and the GNN baselines keep their trained net in ``model``;
@@ -53,6 +121,14 @@ class DetectionSession:
         self.detector = detector
         self.graph = graph
         self._closed = False
+        # Serializes scoring, updates, and close across threads.  Scoring is
+        # deterministic given the store contents, so interleaved concurrent
+        # callers get results bit-identical to any serial order; the lock is
+        # what makes the store top-up / builder refresh / model forward
+        # sequence atomic per call.  Concurrency-driven *throughput* comes
+        # from coalescing requests (``repro.serving.MicroBatcher``), not from
+        # racing the model.
+        self._lock = threading.RLock()
         # Whether detector.invalidate_nodes accepts the per-relation refresh
         # kwargs — resolved once (signature introspection is not free and the
         # answer is constant per session).
@@ -103,21 +179,22 @@ class DetectionSession:
         the requested centers); full-graph baselines fall back to slicing
         their full prediction.
         """
-        self._check_open()
         nodes = np.asarray(list(node_ids) if not isinstance(node_ids, np.ndarray) else node_ids)
         nodes = nodes.astype(np.int64).ravel()
-        if nodes.size and (nodes.min() < 0 or nodes.max() >= self.graph.num_nodes):
-            raise ValueError("node id out of range for the session graph")
-        if nodes.size == 0:
-            return np.zeros((0, 2))
-        subset = getattr(self.detector, "predict_proba_nodes", None)
-        if subset is not None:
-            return subset(nodes)
-        # Full-graph detectors have no subset path; compute the whole
-        # probability matrix once and serve slices until the graph changes.
-        if self._fallback_probabilities is None:
-            self._fallback_probabilities = self.detector.predict_proba(self.graph)
-        return self._fallback_probabilities[nodes]
+        with self._lock:
+            self._check_open()
+            if nodes.size and (nodes.min() < 0 or nodes.max() >= self.graph.num_nodes):
+                raise ValueError("node id out of range for the session graph")
+            if nodes.size == 0:
+                return np.zeros((0, 2))
+            subset = getattr(self.detector, "predict_proba_nodes", None)
+            if subset is not None:
+                return subset(nodes)
+            # Full-graph detectors have no subset path; compute the whole
+            # probability matrix once and serve slices until the graph changes.
+            if self._fallback_probabilities is None:
+                self._fallback_probabilities = self.detector.predict_proba(self.graph)
+            return self._fallback_probabilities[nodes]
 
     def predict_nodes(self, node_ids: Iterable[int]) -> np.ndarray:
         """Hard labels (0 = human, 1 = bot) for ``node_ids``."""
@@ -149,6 +226,18 @@ class DetectionSession:
         no touched node; such a center keeps its stored subgraph.  Exact
         invalidation would have to widen to the mutation's PPR reach.
         """
+        with self._lock:
+            return self._update_graph_locked(edges_added, nodes_changed)
+
+    def _update_graph_locked(
+        self,
+        edges_added: Optional[Mapping[str, Tuple[Iterable[int], Iterable[int]]]],
+        nodes_changed: Optional[Iterable[int]],
+        additions: Optional[list] = None,
+    ) -> int:
+        """Body of :meth:`update_graph`; ``additions`` lets a caller that
+        already ran :func:`validate_edge_additions` (``apply_delta``) skip
+        the second normalization pass on the streaming hot path."""
         self._check_open()
         feature_nodes = (
             np.unique(np.asarray(list(nodes_changed), dtype=np.int64))
@@ -159,21 +248,9 @@ class DetectionSession:
         # Validate everything up front: update_graph must be atomic — a bad
         # later entry must not leave earlier relations mutated but
         # un-invalidated (silently stale scores on retry-with-fix).
-        additions = []
+        if additions is None:
+            additions = validate_edge_additions(self.graph, edges_added)
         num_nodes = self.graph.num_nodes
-        for relation, (src, dst) in (edges_added or {}).items():
-            if relation not in self.graph.relations:
-                raise KeyError(
-                    f"unknown relation {relation!r}; options: {self.graph.relation_names}"
-                )
-            src = np.asarray(src, dtype=np.int64).ravel()
-            dst = np.asarray(dst, dtype=np.int64).ravel()
-            if src.shape != dst.shape:
-                raise ValueError(f"src and dst for {relation!r} must have the same length")
-            for endpoint in (src, dst):
-                if endpoint.size and (endpoint.min() < 0 or endpoint.max() >= num_nodes):
-                    raise ValueError(f"edge endpoint out of range for {relation!r}")
-            additions.append((relation, src, dst))
         for endpoints in touched:
             if endpoints.size and (endpoints.min() < 0 or endpoints.max() >= num_nodes):
                 raise ValueError("nodes_changed entry out of range for the session graph")
@@ -209,6 +286,35 @@ class DetectionSession:
         store = self.store
         return int(store.invalidate_nodes(touched_nodes)) if store is not None else 0
 
+    def apply_delta(
+        self,
+        edges_added: Optional[Mapping[str, Tuple[Iterable[int], Iterable[int]]]] = None,
+        features_changed: Optional[Mapping[int, np.ndarray]] = None,
+    ) -> int:
+        """Apply one serving-layer delta atomically under the session lock.
+
+        The sequencing hook for :class:`repro.serving.DetectionService`:
+        unlike :meth:`update_graph` (whose callers mutate ``graph.features``
+        themselves before notifying), ``features_changed`` carries the new
+        rows, and the write + invalidation happen as one locked step — no
+        concurrent ``score_nodes`` call can observe the new features with
+        pre-delta subgraphs or vice versa.  Atomic like
+        :meth:`update_graph`: everything is validated before the first
+        feature row is written, so a bad entry raises with the graph
+        untouched.  Returns the number of invalidated subgraphs.
+        """
+        with self._lock:
+            self._check_open()
+            additions = validate_edge_additions(self.graph, edges_added)
+            rows = validate_feature_rows(self.graph, features_changed)
+            for node, row in rows.items():
+                self.graph.features[node] = row
+            return self._update_graph_locked(
+                edges_added,
+                list(rows) if rows else None,
+                additions=additions,
+            )
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -228,18 +334,19 @@ class DetectionSession:
         whose worker died mid-build — so a closed session never leaves
         ``/dev/shm`` segments behind.
         """
-        if self._closed:
-            return
-        self._closed = True
-        store = self.store
-        if store is not None:
-            store.clear_caches()
-        for attribute in ("builder", "_builder"):
-            builder = getattr(self.detector, attribute, None)
-            if builder is not None and hasattr(builder, "release_shared"):
-                builder.release_shared()
-        if release_pool:
-            shutdown_shared_pool()
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            store = self.store
+            if store is not None:
+                store.clear_caches()
+            for attribute in ("builder", "_builder"):
+                builder = getattr(self.detector, attribute, None)
+                if builder is not None and hasattr(builder, "release_shared"):
+                    builder.release_shared()
+            if release_pool:
+                shutdown_shared_pool()
 
     def __enter__(self) -> "DetectionSession":
         self._check_open()

@@ -65,12 +65,26 @@ _SPARSE_MIN_BLOCK = 65_536
 #: tiny chunks the budget forces) dominate.
 _FRONTIER_AUTO_NODES = 100_000
 
-#: Default sources per chunk for the sparse-frontier path.  The block is
+#: Starting sources-per-chunk for the sparse-frontier path.  The block is
 #: ``rows x touched-union`` and the union grows with every source in the
 #: chunk (on well-mixed graphs it approaches the whole node set), so small
 #: chunks keep both the block and the per-round column compaction tight —
 #: empirically ~16 rows is the sweet spot from 50k nodes up.
 _FRONTIER_CHUNK_ROWS = 16
+
+#: Adaptive chunk-size bounds and budget (``chunk_rows=None`` with the
+#: sparse frontier).  The policy grows the chunk while the *predicted*
+#: residual+estimate block — ``2 * rows * last-chunk-touched-union`` floats —
+#: stays under the budget, and shrinks when even the current size overshot.
+#: On locally-clustered graphs (unions barely overlap, stay tiny) chunks
+#: climb to ``_FRONTIER_CHUNK_MAX`` and amortize per-chunk setup; on
+#: well-mixed graphs (unions approach ``num_nodes``) they fall back toward
+#: ``_FRONTIER_CHUNK_MIN``.  Chunking never changes results — per-source
+#: pushes are independent — so the policy is purely a space/speed decision
+#: (equivalence-tested against the fixed 16-row policy).
+_FRONTIER_CHUNK_MIN = 4
+_FRONTIER_CHUNK_MAX = 256
+_FRONTIER_BLOCK_BUDGET = 2_000_000
 
 
 class PushOperator:
@@ -126,6 +140,16 @@ def multi_source_ppr(
     Pass a dict as ``stats`` to receive ``peak_block_floats`` (the largest
     residual+estimate block allocated, in float64 entries), ``rounds`` and
     the resolved ``frontier`` mode.
+
+    With the sparse frontier, ``chunk_rows=None`` selects the *adaptive*
+    chunk policy: chunks start at 16 sources and grow (doubling, up to 256)
+    while the predicted block for the next chunk — sized from the previous
+    chunk's touched-column union — stays under ``_FRONTIER_BLOCK_BUDGET``
+    floats, shrinking again when a union blows past it.  Sources push
+    independently, so any chunking produces bit-identical results; the
+    adaptive policy only wins setup/compaction overhead on graphs whose
+    touched unions stay small.  ``stats`` additionally records the
+    ``chunk_rows`` sequence actually used.
     """
     if not 0.0 < alpha < 1.0:
         raise ValueError("alpha must be in (0, 1)")
@@ -135,6 +159,8 @@ def multi_source_ppr(
         raise ValueError("sparse_density must be in [0, 1]")
     if frontier not in (None, "dense", "sparse"):
         raise ValueError("frontier must be None, 'dense' or 'sparse'")
+    if chunk_rows is not None and chunk_rows <= 0:
+        raise ValueError("chunk_rows must be positive (or None for automatic)")
     operator = prepared if prepared is not None else PushOperator(adjacency)
     num_nodes = operator.num_nodes
     if frontier is None:
@@ -143,8 +169,15 @@ def multi_source_ppr(
     if sources.size and (sources.min() < 0 or sources.max() >= num_nodes):
         raise ValueError("source node out of range")
     if stats is not None:
+        # Full reset so a reused stats dict never mixes two calls' numbers.
         stats.update(
-            {"frontier": frontier, "num_nodes": num_nodes, "rounds": 0, "peak_block_floats": 0}
+            {
+                "frontier": frontier,
+                "num_nodes": num_nodes,
+                "rounds": 0,
+                "peak_block_floats": 0,
+                "chunk_rows": [],
+            }
         )
     if sources.size == 0:
         return sp.csr_matrix((0, num_nodes))
@@ -153,22 +186,31 @@ def multi_source_ppr(
     thresholds = epsilon * np.maximum(operator.degrees, 1).astype(np.float64)
     transition = operator.transition
 
-    if chunk_rows is None:
-        if frontier == "sparse":
-            chunk_rows = _FRONTIER_CHUNK_ROWS
-        else:
-            chunk_rows = max(1, _DEFAULT_BLOCK_BUDGET // max(num_nodes, 1))
-
     blocks = []
-    for start in range(0, sources.size, chunk_rows):
-        chunk = sources[start : start + chunk_rows]
-        if frontier == "sparse":
-            blocks.append(
-                _push_chunk_frontier(
-                    transition, dangling, thresholds, chunk, alpha, max_rounds, stats
-                )
+    if frontier == "sparse":
+        adaptive = chunk_rows is None
+        rows = _FRONTIER_CHUNK_ROWS if adaptive else chunk_rows
+        start = 0
+        while start < sources.size:
+            chunk = sources[start : start + rows]
+            block, touched_columns = _push_chunk_frontier(
+                transition, dangling, thresholds, chunk, alpha, max_rounds, stats
             )
-        else:
+            blocks.append(block)
+            start += chunk.size
+            if stats is not None:
+                stats["chunk_rows"].append(int(chunk.size))
+            if adaptive:
+                touched_columns = max(touched_columns, 1)
+                if 2 * (2 * rows) * touched_columns <= _FRONTIER_BLOCK_BUDGET:
+                    rows = min(rows * 2, _FRONTIER_CHUNK_MAX)
+                elif 2 * rows * touched_columns > _FRONTIER_BLOCK_BUDGET:
+                    rows = max(rows // 2, _FRONTIER_CHUNK_MIN)
+    else:
+        if chunk_rows is None:
+            chunk_rows = max(1, _DEFAULT_BLOCK_BUDGET // max(num_nodes, 1))
+        for start in range(0, sources.size, chunk_rows):
+            chunk = sources[start : start + chunk_rows]
             blocks.append(
                 _push_chunk(
                     transition,
@@ -348,8 +390,12 @@ def _push_chunk_frontier(
     alpha: float,
     max_rounds: int,
     stats: Optional[dict] = None,
-) -> sp.csr_matrix:
+) -> Tuple[sp.csr_matrix, int]:
     """Push one chunk with residuals stored only for the touched columns.
+
+    Returns the chunk's score block plus the final touched-union size — the
+    signal the adaptive chunk policy in :func:`multi_source_ppr` sizes the
+    next chunk with.
 
     ``touched`` is the sorted union of every global column that has ever held
     residual or estimate mass for this chunk; ``residuals``/``estimates`` are
@@ -458,7 +504,7 @@ def _push_chunk_frontier(
     indptr = np.zeros(sources.size + 1, dtype=np.int64)
     per_row = [finished.get(row, (empty_i, empty_f)) for row in range(sources.size)]
     np.cumsum([indices.size for indices, _ in per_row], out=indptr[1:])
-    return sp.csr_matrix(
+    block = sp.csr_matrix(
         (
             np.concatenate([data for _, data in per_row]) if per_row else empty_f,
             np.concatenate([indices for indices, _ in per_row]) if per_row else empty_i,
@@ -466,3 +512,4 @@ def _push_chunk_frontier(
         ),
         shape=(sources.size, num_nodes),
     )
+    return block, int(touched.size)

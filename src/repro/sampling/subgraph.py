@@ -28,6 +28,7 @@ consumers that map outputs back to nodes use ``SubgraphBatch.center_nodes``.
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -377,10 +378,17 @@ class SubgraphStore:
     * a bounded LRU cache of collated batches keyed by the sorted center
       set, so recurring batch memberships (fixed evaluation batches, small
       training splits) skip assembly entirely.
+
+    The store is safe under concurrent readers and writers: one reentrant
+    lock serializes every operation that touches the subgraph dict, the
+    flat packs, the center index, or the batch LRU, so concurrent
+    :meth:`collate` calls (the serving micro-batcher, multithreaded
+    scorers) are bit-identical to running the same calls serially.
     """
 
     def __init__(self, graph: HeteroGraph, cache_capacity: int = 128) -> None:
         self.graph = graph
+        self._lock = threading.RLock()
         self._store: Dict[int, Subgraph] = {}
         self._packs: Dict[bool, _CollationPack] = {}
         self._center_index: Optional[Tuple[np.ndarray, np.ndarray]] = None
@@ -403,15 +411,26 @@ class SubgraphStore:
         return len(self._store)
 
     def add(self, subgraph: Subgraph) -> None:
-        center = int(subgraph.center)
-        if center in self._store:
-            # Replacing a subgraph invalidates every derived structure;
-            # appends keep the packs, which then extend incrementally.
-            self._packs = {}
-            self._batch_cache.clear()
-        self._store[center] = subgraph
-        self._center_index = None
-        self.build_count += 1
+        with self._lock:
+            center = int(subgraph.center)
+            if center in self._store:
+                # Replacing a subgraph invalidates every derived structure;
+                # appends keep the packs, which then extend incrementally.
+                self._packs = {}
+                self._batch_cache.clear()
+            self._store[center] = subgraph
+            self._center_index = None
+            self.build_count += 1
+
+    def __getstate__(self):
+        # Locks are not picklable; a transported store gets a fresh one.
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     def get(self, node: int) -> Subgraph:
         return self._store[int(node)]
@@ -434,13 +453,14 @@ class SubgraphStore:
         is missing.
         """
         nodes = _as_node_array(nodes)
-        if self._center_index is None:
-            centers = np.fromiter(
-                self._store.keys(), dtype=np.int64, count=len(self._store)
-            )
-            order = np.argsort(centers, kind="stable").astype(np.int64)
-            self._center_index = (centers[order], order)
-        sorted_centers, order = self._center_index
+        with self._lock:
+            if self._center_index is None:
+                centers = np.fromiter(
+                    self._store.keys(), dtype=np.int64, count=len(self._store)
+                )
+                order = np.argsort(centers, kind="stable").astype(np.int64)
+                self._center_index = (centers[order], order)
+            sorted_centers, order = self._center_index
         if nodes.size == 0:
             return np.empty(0, dtype=np.int64)
         if sorted_centers.size == 0:
@@ -469,22 +489,23 @@ class SubgraphStore:
         packed node-id arrays — no per-subgraph Python loop.
         """
         nodes = _as_node_array(nodes)
-        if nodes.size == 0 or not self._store:
-            return np.empty(0, dtype=np.int64)
-        # A current collation pack already holds every subgraph's node ids
-        # as one flat array (in insertion order); reuse it instead of
-        # re-concatenating the whole store on every streaming update.
-        pack = next(
-            (p for p in self._packs.values() if p.num_subgraphs == len(self._store)),
-            None,
-        )
-        if pack is not None:
-            counts, flat, centers = pack.node_counts, pack.nodes_flat, pack.centers
-        else:
-            subgraphs = list(self._store.values())
-            counts = np.array([sg.num_nodes for sg in subgraphs], dtype=np.int64)
-            flat = np.concatenate([sg.nodes for sg in subgraphs])
-            centers = np.array([sg.center for sg in subgraphs], dtype=np.int64)
+        with self._lock:
+            if nodes.size == 0 or not self._store:
+                return np.empty(0, dtype=np.int64)
+            # A current collation pack already holds every subgraph's node ids
+            # as one flat array (in insertion order); reuse it instead of
+            # re-concatenating the whole store on every streaming update.
+            pack = next(
+                (p for p in self._packs.values() if p.num_subgraphs == len(self._store)),
+                None,
+            )
+            if pack is not None:
+                counts, flat, centers = pack.node_counts, pack.nodes_flat, pack.centers
+            else:
+                subgraphs = list(self._store.values())
+                counts = np.array([sg.num_nodes for sg in subgraphs], dtype=np.int64)
+                flat = np.concatenate([sg.nodes for sg in subgraphs])
+                centers = np.array([sg.center for sg in subgraphs], dtype=np.int64)
         hits = np.isin(flat, nodes)
         if not hits.any():
             return np.empty(0, dtype=np.int64)
@@ -500,13 +521,14 @@ class SubgraphStore:
         rebuild only re-packs — it does not re-normalize anything.
         """
         removed = 0
-        for center in _as_node_array(centers):
-            if self._store.pop(int(center), None) is not None:
-                removed += 1
-        if removed:
-            self._packs = {}
-            self._batch_cache.clear()
-            self._center_index = None
+        with self._lock:
+            for center in _as_node_array(centers):
+                if self._store.pop(int(center), None) is not None:
+                    removed += 1
+            if removed:
+                self._packs = {}
+                self._batch_cache.clear()
+                self._center_index = None
         return removed
 
     def invalidate_nodes(self, nodes: Iterable[int]) -> int:
@@ -520,24 +542,26 @@ class SubgraphStore:
         (:meth:`repro.api.DetectionSession.close`); the caches repopulate
         lazily on the next collation.
         """
-        self._batch_cache.clear()
-        self._packs = {}
+        with self._lock:
+            self._batch_cache.clear()
+            self._packs = {}
 
     def _collation_pack(self, normalize: bool) -> _CollationPack:
         """Flat collation arrays, (re)built lazily and extended on append."""
-        pack = self._packs.get(normalize)
-        relation_names = list(self.graph.relation_names)
-        if (
-            pack is not None
-            and pack.num_subgraphs == len(self._store)
-            and list(pack.relations) == relation_names
-        ):
+        with self._lock:
+            pack = self._packs.get(normalize)
+            relation_names = list(self.graph.relation_names)
+            if (
+                pack is not None
+                and pack.num_subgraphs == len(self._store)
+                and list(pack.relations) == relation_names
+            ):
+                return pack
+            pack = _CollationPack.build(
+                list(self._store.values()), relation_names, normalize, base=pack
+            )
+            self._packs[normalize] = pack
             return pack
-        pack = _CollationPack.build(
-            list(self._store.values()), relation_names, normalize, base=pack
-        )
-        self._packs[normalize] = pack
-        return pack
 
     def has_collation_pack(self, normalize: bool = True) -> bool:
         """True when the flat arrays for ``normalize`` are built and current."""
@@ -564,38 +588,44 @@ class SubgraphStore:
         keeps the cache's memory footprint independent of feature width.
         Because the order is canonicalized, callers that map per-center
         outputs back to nodes must index through ``batch.center_nodes``.
+
+        Safe under concurrent callers: the cache lookup, the flat assembly
+        and the cache insert run under the store lock, so two threads
+        requesting the same membership serve one assembly and identical
+        batches.
         """
         nodes = np.sort(_as_node_array(nodes))
-        if not use_cache or self.cache_capacity <= 0:
-            return collate_many(self, nodes, normalize=normalize)
-        key = (normalize, nodes.tobytes())
-        cached = self._batch_cache.get(key)
-        if cached is not None:
-            self._batch_cache.move_to_end(key)
-            self.cache_hits += 1
-            batch, batch_nodes = cached
-            return SubgraphBatch(
-                features=self.graph.features[batch_nodes],
-                relation_adjacencies=batch.relation_adjacencies,
-                center_positions=batch.center_positions,
-                center_nodes=batch.center_nodes,
-                labels=batch.labels,
+        with self._lock:
+            if not use_cache or self.cache_capacity <= 0:
+                return collate_many(self, nodes, normalize=normalize)
+            key = (normalize, nodes.tobytes())
+            cached = self._batch_cache.get(key)
+            if cached is not None:
+                self._batch_cache.move_to_end(key)
+                self.cache_hits += 1
+                batch, batch_nodes = cached
+                return SubgraphBatch(
+                    features=self.graph.features[batch_nodes],
+                    relation_adjacencies=batch.relation_adjacencies,
+                    center_positions=batch.center_positions,
+                    center_nodes=batch.center_nodes,
+                    labels=batch.labels,
+                )
+            batch, batch_nodes = _collate_flat(self, nodes, normalize)
+            self.cache_misses += 1
+            self._batch_cache[key] = (
+                SubgraphBatch(
+                    features=_NO_FEATURES,
+                    relation_adjacencies=batch.relation_adjacencies,
+                    center_positions=batch.center_positions,
+                    center_nodes=batch.center_nodes,
+                    labels=batch.labels,
+                ),
+                batch_nodes,
             )
-        batch, batch_nodes = _collate_flat(self, nodes, normalize)
-        self.cache_misses += 1
-        self._batch_cache[key] = (
-            SubgraphBatch(
-                features=_NO_FEATURES,
-                relation_adjacencies=batch.relation_adjacencies,
-                center_positions=batch.center_positions,
-                center_nodes=batch.center_nodes,
-                labels=batch.labels,
-            ),
-            batch_nodes,
-        )
-        while len(self._batch_cache) > self.cache_capacity:
-            self._batch_cache.popitem(last=False)
-        return batch
+            while len(self._batch_cache) > self.cache_capacity:
+                self._batch_cache.popitem(last=False)
+            return batch
 
     def batches(
         self,

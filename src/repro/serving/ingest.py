@@ -1,0 +1,166 @@
+"""Streaming update ingestion: an ordered, validated log of graph deltas.
+
+A serving process receives graph mutations (new edges, changed node
+features) concurrently with score traffic.  Applying each mutation the
+moment it arrives would interleave arbitrarily with in-flight scoring;
+instead, mutations enter a :class:`DeltaLog` — an append-only, sequenced
+log — and the service's dispatcher applies pending deltas *between* scoring
+waves through ``DetectionSession.update_graph`` (which invalidates exactly
+the stored subgraphs a delta touches and refreshes the builder per
+relation).
+
+Sequencing gives read-your-writes: :meth:`DeltaLog.append` returns the
+delta's sequence number, every score request records the log's tail at
+submit time, and the dispatcher never executes a wave before applying at
+least that prefix.  A score request enqueued after delta ``k`` therefore
+never sees pre-``k`` subgraphs.
+
+Deltas are validated *at append time* against the live graph (unknown
+relation names, out-of-range endpoints, wrong feature width), so a bad
+mutation fails its producer immediately instead of poisoning the dispatcher
+later.  Consecutive pending deltas are coalesced before application — edge
+lists concatenate per relation in log order, feature rows last-write-wins —
+so a burst of small deltas costs one ``update_graph`` pass (one per-relation
+re-symmetrization) instead of one per delta.  Coalescing is semantically
+free: invalidation is a set union either way, and the builder refresh
+always re-reads the *final* graph state.
+
+Unlike ``DetectionSession.update_graph`` (whose callers mutate
+``graph.features`` themselves before notifying), feature updates here carry
+the new rows in the delta; the dispatcher is the only writer of the served
+graph, which is what keeps the log's ordering meaningful.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.api.session import validate_edge_additions, validate_feature_rows
+from repro.graph import HeteroGraph
+
+
+@dataclass
+class GraphDelta:
+    """One validated mutation: edges appended and/or feature rows replaced."""
+
+    seq: int
+    edges_added: Dict[str, Tuple[np.ndarray, np.ndarray]] = field(default_factory=dict)
+    features_changed: Dict[int, np.ndarray] = field(default_factory=dict)
+    #: How many raw log entries this delta coalesces (telemetry).
+    coalesced: int = 1
+
+    @property
+    def num_edges(self) -> int:
+        return sum(int(src.size) for src, _ in self.edges_added.values())
+
+    @property
+    def num_feature_rows(self) -> int:
+        return len(self.features_changed)
+
+
+class DeltaLog:
+    """Thread-safe ordered log of graph deltas awaiting application."""
+
+    def __init__(self, graph: HeteroGraph) -> None:
+        self.graph = graph
+        self._lock = threading.Lock()
+        self._pending: List[GraphDelta] = []
+        self._next_seq = 0
+        self._applied_seq = -1
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        edges_added: Optional[Mapping[str, Tuple[Iterable[int], Iterable[int]]]] = None,
+        features_changed: Optional[Mapping[int, Iterable[float]]] = None,
+    ) -> int:
+        """Validate and enqueue one delta; returns its sequence number.
+
+        The returned sequence is the caller's read-your-writes barrier: any
+        score request submitted afterwards is guaranteed to be served at a
+        log prefix that includes this delta.  Raises (and enqueues nothing)
+        on an unknown relation, mismatched or out-of-range endpoints, an
+        out-of-range feature node, or a feature row of the wrong width —
+        the exact validation ``DetectionSession.apply_delta`` applies,
+        shared so the two can never drift.
+        """
+        edges: Dict[str, Tuple[np.ndarray, np.ndarray]] = {
+            relation: (src, dst)
+            for relation, src, dst in validate_edge_additions(self.graph, edges_added)
+            if src.size
+        }
+        features = validate_feature_rows(self.graph, features_changed)
+        with self._lock:
+            # Checked under the same lock that inserts: once close() ran,
+            # no append can slip in after the service's final application
+            # and be silently acknowledged-but-never-applied.
+            if self._closed:
+                raise RuntimeError("delta log is closed")
+            delta = GraphDelta(self._next_seq, edges, features)
+            self._next_seq += 1
+            self._pending.append(delta)
+            return delta.seq
+
+    def close(self) -> None:
+        """Refuse further appends (already-pending deltas stay drainable)."""
+        with self._lock:
+            self._closed = True
+
+    # ------------------------------------------------------------------
+    # Dispatcher side
+    # ------------------------------------------------------------------
+    @property
+    def tail_seq(self) -> int:
+        """Sequence of the newest enqueued delta (-1 when none ever was)."""
+        with self._lock:
+            return self._next_seq - 1
+
+    @property
+    def applied_seq(self) -> int:
+        """Highest sequence already applied to the graph (-1 initially)."""
+        with self._lock:
+            return self._applied_seq
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def drain(self) -> Optional[GraphDelta]:
+        """Pop every pending delta, coalesced into one (``None`` when idle).
+
+        The coalesced delta carries the *highest* drained sequence; callers
+        mark it applied via :meth:`mark_applied` once ``update_graph``
+        succeeded.  Edge arrays concatenate in log order per relation;
+        feature rows take the last write per node.
+        """
+        with self._lock:
+            if not self._pending:
+                return None
+            drained, self._pending = self._pending, []
+        edges: Dict[str, List[Tuple[np.ndarray, np.ndarray]]] = {}
+        features: Dict[int, np.ndarray] = {}
+        for delta in drained:
+            for relation, (src, dst) in delta.edges_added.items():
+                edges.setdefault(relation, []).append((src, dst))
+            features.update(delta.features_changed)
+        merged_edges = {
+            relation: (
+                np.concatenate([src for src, _ in pairs]),
+                np.concatenate([dst for _, dst in pairs]),
+            )
+            for relation, pairs in edges.items()
+        }
+        return GraphDelta(drained[-1].seq, merged_edges, features, coalesced=len(drained))
+
+    def mark_applied(self, seq: int) -> None:
+        with self._lock:
+            if seq > self._applied_seq:
+                self._applied_seq = seq

@@ -250,6 +250,30 @@ class TestUpdateGraph:
         assert builder._relation_adjacency[touched][0, 2] == 1.0
         session.close()
 
+    def test_apply_delta_validates_before_mutating(self, served):
+        """apply_delta is atomic like update_graph: a bad entry anywhere in
+        the delta leaves the graph (features included) untouched."""
+        detector, graph = served
+        node = int(detector.store.nodes()[0])
+        before = graph.features[node].copy()
+        store_size = len(detector.store)
+        with api.DetectionSession(detector, graph) as session:
+            with pytest.raises(KeyError, match="unknown relation"):
+                session.apply_delta(
+                    edges_added={"bogus": ([0], [1])},
+                    features_changed={node: before + 1.0},
+                )
+            with pytest.raises(ValueError, match="width"):
+                session.apply_delta(
+                    features_changed={node: np.zeros(graph.num_features + 1)}
+                )
+            with pytest.raises(ValueError, match="out of range"):
+                session.apply_delta(
+                    features_changed={graph.num_nodes: before}
+                )
+        np.testing.assert_array_equal(graph.features[node], before)
+        assert len(detector.store) == store_size
+
     def test_feature_update_patches_embedding_rows(self, served):
         detector, graph = served
         builder = detector.builder

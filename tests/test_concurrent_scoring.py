@@ -1,0 +1,194 @@
+"""Concurrency stress tests: ``SubgraphStore.collate`` and
+``DetectionSession.score_nodes`` under many threads must produce results
+bit-identical to serial execution of the same calls."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.core import BSG4Bot, BSG4BotConfig
+from tests.conftest import make_separable_graph
+
+GRAPH_SEED = 21
+NUM_THREADS = 8
+ROUNDS = 6
+
+
+def _make_graph():
+    return make_separable_graph(num_nodes=60, seed=GRAPH_SEED)
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory):
+    graph = _make_graph()
+    config = BSG4BotConfig(
+        pretrain_epochs=10, hidden_dim=8, pretrain_hidden_dim=8,
+        subgraph_k=3, max_epochs=3, min_epochs=1, patience=2, batch_size=16,
+    )
+    detector = BSG4Bot(config)
+    detector.fit(graph)
+    return api.save_detector(detector, tmp_path_factory.mktemp("stress") / "artifact")
+
+
+def _fresh(artifact):
+    graph = _make_graph()
+    return api.load_detector(artifact, graph=graph), graph
+
+
+def _run_threads(worker, count=NUM_THREADS):
+    errors: list = []
+
+    def wrapped(index):
+        try:
+            worker(index)
+        except BaseException as error:  # noqa: BLE001 — re-raised below
+            errors.append(error)
+
+    threads = [threading.Thread(target=wrapped, args=(i,)) for i in range(count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+
+def _assert_batches_equal(left, right):
+    np.testing.assert_array_equal(left.features, right.features)
+    np.testing.assert_array_equal(left.center_positions, right.center_positions)
+    np.testing.assert_array_equal(left.center_nodes, right.center_nodes)
+    np.testing.assert_array_equal(left.labels, right.labels)
+    assert left.relation_adjacencies.keys() == right.relation_adjacencies.keys()
+    for name, adjacency in left.relation_adjacencies.items():
+        other = right.relation_adjacencies[name]
+        np.testing.assert_array_equal(adjacency.indptr, other.indptr)
+        np.testing.assert_array_equal(adjacency.indices, other.indices)
+        np.testing.assert_array_equal(adjacency.data, other.data)
+
+
+class TestConcurrentCollate:
+    def test_concurrent_collate_bit_identical_to_serial(self, artifact):
+        detector, _ = _fresh(artifact)
+        store = detector.store
+        rng = np.random.default_rng(0)
+        centers = np.asarray(store.nodes())
+        memberships = [
+            np.sort(rng.choice(centers, size=int(rng.integers(2, 12)), replace=False))
+            for _ in range(NUM_THREADS * ROUNDS)
+        ]
+        # Serial reference on an identical store loaded from the artifact.
+        reference_detector, _ = _fresh(artifact)
+        reference = [
+            reference_detector.store.collate(nodes) for nodes in memberships
+        ]
+
+        results: dict = {}
+
+        def worker(index):
+            for round_index in range(ROUNDS):
+                position = index * ROUNDS + round_index
+                results[position] = store.collate(memberships[position])
+                if round_index == ROUNDS // 2 and index == 0:
+                    # Drop the packs mid-flight: concurrent collates must
+                    # transparently rebuild them without corruption.
+                    store.clear_caches()
+
+        _run_threads(worker)
+        for position, batch in results.items():
+            _assert_batches_equal(batch, reference[position])
+
+    def test_concurrent_collate_with_cache_disabled(self, artifact):
+        detector, _ = _fresh(artifact)
+        store = detector.store
+        nodes = np.sort(np.asarray(store.nodes())[:8])
+        reference = store.collate(nodes, use_cache=False)
+        results: dict = {}
+
+        def worker(index):
+            results[index] = store.collate(nodes, use_cache=False)
+
+        _run_threads(worker)
+        for batch in results.values():
+            _assert_batches_equal(batch, reference)
+
+
+class TestConcurrentScoreNodes:
+    def test_concurrent_score_nodes_bit_identical_to_serial(self, artifact):
+        """The satellite acceptance test: N threads scoring disjoint request
+        sequences — including centers missing from the store, which force
+        builds through the builder — get scores bit-identical to running
+        the same sequences serially."""
+        rng = np.random.default_rng(1)
+        request_lists = [
+            [
+                np.unique(rng.integers(0, 60, int(rng.integers(1, 6))))
+                for _ in range(ROUNDS)
+            ]
+            for _ in range(NUM_THREADS)
+        ]
+
+        serial_detector, serial_graph = _fresh(artifact)
+        with api.DetectionSession(serial_detector, serial_graph) as session:
+            expected = [
+                [session.score_nodes(nodes) for nodes in per_thread]
+                for per_thread in request_lists
+            ]
+
+        concurrent_detector, concurrent_graph = _fresh(artifact)
+        session = api.DetectionSession(concurrent_detector, concurrent_graph)
+        results: dict = {}
+
+        def worker(index):
+            results[index] = [
+                session.score_nodes(nodes) for nodes in request_lists[index]
+            ]
+
+        try:
+            _run_threads(worker)
+        finally:
+            session.close(release_pool=False)
+        for index in range(NUM_THREADS):
+            for round_index in range(ROUNDS):
+                np.testing.assert_array_equal(
+                    results[index][round_index], expected[index][round_index]
+                )
+
+    def test_concurrent_scores_interleaved_with_updates(self, artifact):
+        """Scores and updates racing from different threads must match *some*
+        serial interleaving: every response equals the fresh-session score
+        at whichever update prefix the session had applied."""
+        detector, graph = _fresh(artifact)
+        session = api.DetectionSession(detector, graph)
+        node = 9
+        original = graph.features[node].copy()
+        shifted = original + 3.0
+        scores: list = []
+
+        def scorer(index):
+            for _ in range(ROUNDS):
+                scores.append(session.score_nodes([node]))
+
+        def updater(index):
+            session.apply_delta(features_changed={node: shifted})
+
+        threads = [threading.Thread(target=scorer, args=(i,)) for i in range(3)]
+        threads.append(threading.Thread(target=updater, args=(3,)))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        session.close(release_pool=False)
+
+        before_detector, before_graph = _fresh(artifact)
+        with api.DetectionSession(before_detector, before_graph) as reference:
+            value_before = reference.score_nodes([node])
+        after_detector, after_graph = _fresh(artifact)
+        with api.DetectionSession(after_detector, after_graph) as reference:
+            reference.apply_delta(features_changed={node: shifted})
+            value_after = reference.score_nodes([node])
+        for row in scores:
+            assert np.array_equal(row, value_before) or np.array_equal(row, value_after)

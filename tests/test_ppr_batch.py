@@ -110,6 +110,11 @@ class TestMultiSourcePPR:
             multi_source_ppr(adjacency, [12])
         with pytest.raises(ValueError):
             multi_source_ppr(adjacency, [0], sparse_density=1.5)
+        for bad_rows in (0, -1):
+            with pytest.raises(ValueError, match="chunk_rows"):
+                multi_source_ppr(adjacency, [0], frontier="sparse", chunk_rows=bad_rows)
+            with pytest.raises(ValueError, match="chunk_rows"):
+                multi_source_ppr(adjacency, [0], frontier="dense", chunk_rows=bad_rows)
 
 
 class TestColumnSparseResiduals:
@@ -258,3 +263,81 @@ class TestSparseFrontier:
         scores = multi_source_ppr(adjacency, [], frontier="sparse", stats=stats)
         assert scores.shape == (0, 10)
         assert stats["rounds"] == 0
+
+
+class TestAdaptiveChunking:
+    """``chunk_rows=None`` with the sparse frontier sizes chunks adaptively:
+    grow while the predicted block (rows x last touched union) stays under
+    the float budget, shrink when it overshoots.  Sources push independently,
+    so every policy must stay bit-identical to the fixed 16-row one."""
+
+    def clustered_graph(self, num_cliques: int, clique_size: int) -> sp.csr_matrix:
+        """Disconnected cliques: touched unions stay tiny per chunk."""
+        block = np.ones((clique_size, clique_size)) - np.eye(clique_size)
+        return sp.block_diag([block] * num_cliques).tocsr()
+
+    def test_adaptive_matches_fixed_16(self):
+        adjacency = random_graph(60, 0.08, seed=21)
+        sources = np.arange(60)
+        fixed = multi_source_ppr(
+            adjacency, sources, epsilon=1e-6, frontier="sparse", chunk_rows=16
+        )
+        stats: dict = {}
+        adaptive = multi_source_ppr(
+            adjacency, sources, epsilon=1e-6, frontier="sparse", stats=stats
+        )
+        assert (fixed != adaptive).nnz == 0
+        np.testing.assert_array_equal(fixed.data, adaptive.data)
+        np.testing.assert_array_equal(fixed.indices, adaptive.indices)
+        assert sum(stats["chunk_rows"]) == sources.size
+
+    def test_chunks_grow_on_clustered_graph(self):
+        from repro.ppr.batch import _FRONTIER_CHUNK_ROWS
+
+        adjacency = self.clustered_graph(num_cliques=200, clique_size=4)
+        sources = np.arange(96)
+        stats: dict = {}
+        adaptive = multi_source_ppr(
+            adjacency, sources, epsilon=1e-6, frontier="sparse", stats=stats
+        )
+        # Tiny unions: the chunk doubles away from the fixed starting size,
+        # so the sweep takes fewer chunks than the fixed policy would.
+        assert max(stats["chunk_rows"]) > _FRONTIER_CHUNK_ROWS
+        assert len(stats["chunk_rows"]) < int(np.ceil(96 / _FRONTIER_CHUNK_ROWS))
+        fixed = multi_source_ppr(
+            adjacency, sources, epsilon=1e-6, frontier="sparse", chunk_rows=16
+        )
+        assert (fixed != adaptive).nnz == 0
+
+    def test_chunks_shrink_when_budget_exceeded(self, monkeypatch):
+        import repro.ppr.batch as batch_module
+
+        # A well-mixed graph: every chunk's union reaches ~all columns, so a
+        # tiny budget must drive the chunk size down to the floor.
+        adjacency = random_graph(80, 0.2, seed=22)
+        monkeypatch.setattr(batch_module, "_FRONTIER_BLOCK_BUDGET", 64)
+        sources = np.arange(80)
+        stats: dict = {}
+        adaptive = multi_source_ppr(
+            adjacency, sources, epsilon=1e-6, frontier="sparse", stats=stats
+        )
+        assert min(stats["chunk_rows"]) == batch_module._FRONTIER_CHUNK_MIN
+        dense = multi_source_ppr(adjacency, sources, epsilon=1e-6, frontier="dense")
+        assert (dense != adaptive).nnz == 0
+
+    def test_stats_dict_reuse_resets_chunk_rows(self):
+        adjacency = random_graph(40, 0.1, seed=5)
+        stats: dict = {}
+        multi_source_ppr(adjacency, np.arange(40), frontier="sparse", stats=stats)
+        first = list(stats["chunk_rows"])
+        multi_source_ppr(adjacency, np.arange(40), frontier="sparse", stats=stats)
+        assert stats["chunk_rows"] == first  # no accumulation across calls
+        assert sum(stats["chunk_rows"]) == 40
+
+    def test_explicit_chunk_rows_stays_fixed(self):
+        adjacency = self.clustered_graph(num_cliques=50, clique_size=4)
+        stats: dict = {}
+        multi_source_ppr(
+            adjacency, np.arange(48), frontier="sparse", chunk_rows=16, stats=stats
+        )
+        assert stats["chunk_rows"] == [16, 16, 16]

@@ -1,0 +1,216 @@
+"""Unit tests for the serving building blocks: the micro-batching scheduler,
+the delta log, and the telemetry primitives (no trained model involved)."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    BatcherClosed,
+    DeltaLog,
+    LatencyHistogram,
+    MicroBatcher,
+    ServingMetrics,
+)
+from tests.conftest import make_separable_graph
+
+
+class TestMicroBatcher:
+    def test_single_request_round_trip(self):
+        batcher = MicroBatcher(max_batch_size=8, max_wait_ms=1.0)
+        request = batcher.submit([3, 1, 2])
+        wave = batcher.next_wave(poll_timeout=0.5)
+        assert [r is request for r in wave] == [True]
+        np.testing.assert_array_equal(request.nodes, [3, 1, 2])
+        assert request.started_at is not None
+        request._resolve(np.zeros((3, 2)))
+        assert request.result(1.0).shape == (3, 2)
+
+    def test_concurrent_burst_coalesces_into_one_wave(self):
+        batcher = MicroBatcher(max_batch_size=10, max_wait_ms=50.0)
+        requests = [batcher.submit([index]) for index in range(5)]
+        wave = batcher.next_wave(poll_timeout=0.5)
+        assert wave == requests  # FIFO order preserved
+
+    def test_wave_splits_at_max_batch_size(self):
+        batcher = MicroBatcher(max_batch_size=4, max_wait_ms=50.0)
+        requests = [batcher.submit([0, 1]) for _ in range(3)]
+        first = batcher.next_wave(poll_timeout=0.5)
+        second = batcher.next_wave(poll_timeout=0.5)
+        assert first == requests[:2]  # 4 node rows fill the wave
+        assert second == requests[2:]
+
+    def test_oversized_request_ships_alone(self):
+        batcher = MicroBatcher(max_batch_size=4, max_wait_ms=50.0)
+        big = batcher.submit(list(range(10)))
+        small = batcher.submit([0])
+        assert batcher.next_wave(poll_timeout=0.5) == [big]
+        assert batcher.next_wave(poll_timeout=0.5) == [small]
+
+    def test_empty_queue_polls_out(self):
+        batcher = MicroBatcher()
+        assert batcher.next_wave(poll_timeout=0.01) == []
+
+    def test_straggler_joins_during_linger(self):
+        batcher = MicroBatcher(max_batch_size=10, max_wait_ms=250.0)
+        first = batcher.submit([0])
+
+        def straggler():
+            batcher.submit([1])
+
+        timer = threading.Timer(0.01, straggler)
+        timer.start()
+        try:
+            wave = batcher.next_wave(poll_timeout=0.5)
+        finally:
+            timer.cancel()
+        assert len(wave) == 2 and wave[0] is first
+
+    def test_close_rejects_new_submissions(self):
+        batcher = MicroBatcher()
+        batcher.close()
+        with pytest.raises(BatcherClosed):
+            batcher.submit([0])
+
+    def test_close_keeps_pending_dispatchable_by_default(self):
+        batcher = MicroBatcher(max_batch_size=8, max_wait_ms=50.0)
+        request = batcher.submit([0])
+        batcher.close()
+        assert batcher.next_wave(poll_timeout=0.1) == [request]
+        assert batcher.next_wave(poll_timeout=0.1) == []
+
+    def test_close_reject_pending_fails_waiters(self):
+        batcher = MicroBatcher()
+        request = batcher.submit([0])
+        batcher.close(reject_pending=True)
+        with pytest.raises(BatcherClosed):
+            request.result(0.5)
+        assert batcher.pending == 0
+
+    def test_result_timeout(self):
+        batcher = MicroBatcher()
+        request = batcher.submit([0])
+        with pytest.raises(TimeoutError):
+            request.result(0.01)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(max_batch_size=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(max_wait_ms=-1.0)
+
+
+class TestDeltaLog:
+    @pytest.fixture()
+    def graph(self):
+        return make_separable_graph(num_nodes=30, seed=7)
+
+    def test_sequences_increment(self, graph):
+        log = DeltaLog(graph)
+        relation = graph.relation_names[0]
+        assert log.tail_seq == -1
+        assert log.append(edges_added={relation: ([0], [1])}) == 0
+        assert log.append(features_changed={2: graph.features[2] + 1.0}) == 1
+        assert log.tail_seq == 1
+        assert log.pending == 2
+        assert log.applied_seq == -1
+
+    def test_validation_rejects_without_enqueueing(self, graph):
+        log = DeltaLog(graph)
+        relation = graph.relation_names[0]
+        with pytest.raises(KeyError, match="unknown relation"):
+            log.append(edges_added={"bogus": ([0], [1])})
+        with pytest.raises(ValueError, match="same length"):
+            log.append(edges_added={relation: ([0, 1], [2])})
+        with pytest.raises(ValueError, match="out of range"):
+            log.append(edges_added={relation: ([0], [graph.num_nodes])})
+        with pytest.raises(ValueError, match="out of range"):
+            log.append(features_changed={graph.num_nodes: np.zeros(graph.num_features)})
+        with pytest.raises(ValueError, match="width"):
+            log.append(features_changed={0: np.zeros(graph.num_features + 1)})
+        assert log.pending == 0 and log.tail_seq == -1
+
+    def test_drain_coalesces_in_log_order(self, graph):
+        log = DeltaLog(graph)
+        rel_a, rel_b = graph.relation_names[:2]
+        row_first = np.full(graph.num_features, 1.0)
+        row_last = np.full(graph.num_features, 2.0)
+        log.append(edges_added={rel_a: ([0], [1])}, features_changed={5: row_first})
+        log.append(edges_added={rel_a: ([2], [3]), rel_b: ([4], [5])})
+        log.append(features_changed={5: row_last})
+        delta = log.drain()
+        assert delta.seq == 2 and delta.coalesced == 3
+        np.testing.assert_array_equal(delta.edges_added[rel_a][0], [0, 2])
+        np.testing.assert_array_equal(delta.edges_added[rel_a][1], [1, 3])
+        np.testing.assert_array_equal(delta.edges_added[rel_b][0], [4])
+        np.testing.assert_array_equal(delta.features_changed[5], row_last)
+        assert log.pending == 0
+        assert log.drain() is None
+        log.mark_applied(delta.seq)
+        assert log.applied_seq == 2
+
+    def test_empty_edge_lists_are_dropped(self, graph):
+        log = DeltaLog(graph)
+        relation = graph.relation_names[0]
+        log.append(edges_added={relation: ([], [])})
+        delta = log.drain()
+        assert delta.edges_added == {} and delta.num_edges == 0
+
+    def test_closed_log_refuses_appends_but_drains_pending(self, graph):
+        log = DeltaLog(graph)
+        relation = graph.relation_names[0]
+        log.append(edges_added={relation: ([0], [1])})
+        log.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            log.append(edges_added={relation: ([2], [3])})
+        delta = log.drain()
+        assert delta is not None and delta.seq == 0
+
+
+class TestLatencyHistogram:
+    def test_empty_snapshot(self):
+        snapshot = LatencyHistogram().snapshot()
+        assert snapshot["count"] == 0 and snapshot["p99_s"] == 0.0
+
+    def test_percentiles_ordered_and_bounded(self):
+        histogram = LatencyHistogram()
+        rng = np.random.default_rng(0)
+        samples = rng.exponential(0.01, size=500)
+        for sample in samples:
+            histogram.observe(sample)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 500
+        assert snapshot["min_s"] <= snapshot["p50_s"] <= snapshot["p90_s"]
+        assert snapshot["p90_s"] <= snapshot["p99_s"] <= snapshot["max_s"] * 1.26 + 1e-9
+        assert snapshot["mean_s"] == pytest.approx(samples.mean())
+
+    def test_percentile_estimate_within_bucket_resolution(self):
+        histogram = LatencyHistogram()
+        for _ in range(100):
+            histogram.observe(0.010)
+        # Geometric buckets: the estimate may overshoot by one bucket (~26%).
+        assert 0.010 <= histogram.percentile(0.5) <= 0.013
+
+    def test_invalid_quantile(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().percentile(1.5)
+
+
+class TestServingMetrics:
+    def test_snapshot_occupancy(self):
+        metrics = ServingMetrics()
+        metrics.increment("requests", 6)
+        metrics.increment("waves", 2)
+        metrics.increment("wave_nodes", 6)
+        snapshot = metrics.snapshot({"extra_field": 1})
+        assert snapshot["batch_occupancy"] == 3.0
+        assert snapshot["requests_per_wave"] == 3.0
+        assert snapshot["extra_field"] == 1
+
+    def test_snapshot_with_no_waves(self):
+        snapshot = ServingMetrics().snapshot()
+        assert snapshot["batch_occupancy"] == 0.0
+        assert snapshot["requests_per_wave"] == 0.0
