@@ -30,7 +30,6 @@ import time
 from pathlib import Path
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.graph import HeteroGraph
 from repro.ppr import multi_source_ppr

@@ -17,6 +17,6 @@ def test_table3_runtime(benchmark, bench_scale, results_dir):
     assert set(result) >= {"gcn", "rgt", "botmoe", "slimg", "bsg4bot"}
     bsg_epochs = result["bsg4bot"]["epochs"]
     assert bsg_epochs <= max(result["rgt"]["epochs"], result["botmoe"]["epochs"]) + 5
-    for name, metrics in result.items():
+    for _name, metrics in result.items():
         assert metrics["epochs"] >= 1
         assert metrics["total_time"] > 0

@@ -1,0 +1,85 @@
+"""Invariant checker suite: AST lint + runtime concurrency sanitizer.
+
+Static half (``repro lint``): five stdlib-``ast`` checkers enforcing the
+conventions the concurrent engine rests on — lock discipline, shm
+lifecycle, order-pinned reductions in bit-identity-gated modules, oracle
+coverage for declared fast paths, and thread/pool join paths — ratcheted
+by a committed ``baseline.json`` so CI fails only on *new* findings.
+
+Runtime half (``REPRO_SANITIZE=1``): lock-order-inversion detection via
+tracked RLock/Condition proxies and an atexit shared-memory census.  See
+:mod:`repro.analysis.sanitizer`.
+
+Re-exports resolve lazily (PEP 562): the sanitizer is imported by
+low-level modules (``graph/adjacency.py``, the serving stack), and they
+must not pay for parsing the whole checker suite — or pull it into every
+``import repro.graph``.
+"""
+
+from typing import TYPE_CHECKING
+
+_FINDINGS_EXPORTS = {
+    "BASELINE_VERSION",
+    "Finding",
+    "LintReport",
+    "apply_baseline",
+    "default_baseline_path",
+    "load_baseline",
+    "save_baseline",
+}
+_REGISTRY_EXPORTS = {
+    "CHECKERS",
+    "CheckerRegistry",
+    "LintContext",
+    "ModuleSource",
+    "register_checker",
+}
+_RUNNER_EXPORTS = {
+    "build_context",
+    "collect_findings",
+    "default_target",
+    "iter_python_files",
+    "repo_root_for",
+    "run_lint",
+}
+
+__all__ = sorted(_FINDINGS_EXPORTS | _REGISTRY_EXPORTS | _RUNNER_EXPORTS)
+
+if TYPE_CHECKING:  # pragma: no cover - static-analysis aid only
+    from repro.analysis.findings import (  # noqa: F401
+        BASELINE_VERSION,
+        Finding,
+        LintReport,
+        apply_baseline,
+        default_baseline_path,
+        load_baseline,
+        save_baseline,
+    )
+    from repro.analysis.registry import (  # noqa: F401
+        CHECKERS,
+        CheckerRegistry,
+        LintContext,
+        ModuleSource,
+        register_checker,
+    )
+    from repro.analysis.runner import (  # noqa: F401
+        build_context,
+        collect_findings,
+        default_target,
+        iter_python_files,
+        repo_root_for,
+        run_lint,
+    )
+
+
+def __getattr__(name: str):
+    if name in _FINDINGS_EXPORTS:
+        from repro.analysis import findings as module
+    elif name in _REGISTRY_EXPORTS:
+        from repro.analysis import registry as module
+    elif name in _RUNNER_EXPORTS:
+        # Importing the runner registers every checker as a side effect.
+        from repro.analysis import runner as module
+    else:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    return getattr(module, name)

@@ -1,0 +1,138 @@
+"""Finding and baseline primitives for the invariant checker suite.
+
+A :class:`Finding` is one checker hit: checker id, location, message and a
+fix hint.  Its :attr:`Finding.key` deliberately excludes the line number —
+unrelated edits move code around, and a baseline keyed on line numbers would
+go stale on every refactor.  Instead the key is
+``checker:relative-path:scope:detail`` where ``scope`` is the enclosing
+``Class.method`` (or ``<module>``) and ``detail`` names the offending
+attribute/function — stable until the finding itself is fixed or a new one
+appears.
+
+The baseline file (``analysis/baseline.json``) is the suppression ratchet:
+pre-existing findings are recorded there so ``repro lint`` fails only on
+*new* ones — the same philosophy as the rolling-best perf gate, applied to
+correctness discipline.  Fixing a finding and removing its baseline entry
+tightens the gate permanently; the file never loosens by itself.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+#: Baseline schema version; bump on incompatible key format changes.
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One checker hit, printable as ``path:line: [checker] message``."""
+
+    checker: str
+    path: str  # repository-relative, forward slashes
+    line: int
+    scope: str  # "Class.method", "function", or "<module>"
+    detail: str  # the offending attribute / function / resource name
+    message: str
+    hint: str = ""
+
+    @property
+    def key(self) -> str:
+        """Line-number-free identity used for baseline suppression."""
+        return f"{self.checker}:{self.path}:{self.scope}:{self.detail}"
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}: [{self.checker}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run: new findings vs. baseline-suppressed ones."""
+
+    new: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    #: Baseline keys that matched nothing — stale entries that should be
+    #: removed (the finding they suppressed was fixed).
+    stale_keys: List[str] = field(default_factory=list)
+    files_checked: int = 0
+    checkers_run: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.new
+
+    def render(self, show_baselined: bool = False) -> str:
+        lines: List[str] = []
+        for finding in self.new:
+            lines.append(finding.render())
+        if show_baselined and self.baselined:
+            lines.append("")
+            lines.append(f"baselined ({len(self.baselined)} pre-existing):")
+            for finding in self.baselined:
+                lines.append("  " + finding.render().replace("\n", "\n  "))
+        if self.stale_keys:
+            lines.append("")
+            lines.append(
+                f"stale baseline entries ({len(self.stale_keys)}) — the findings "
+                "they suppressed no longer exist; regenerate with --write-baseline:"
+            )
+            for key in self.stale_keys:
+                lines.append(f"  {key}")
+        summary = (
+            f"{len(self.new)} new finding(s), {len(self.baselined)} baselined, "
+            f"{self.files_checked} file(s), checkers: {', '.join(self.checkers_run)}"
+        )
+        lines.append(("" if not lines else "\n") + summary)
+        return "\n".join(lines)
+
+
+def default_baseline_path() -> Path:
+    """The committed baseline next to this package (works installed too)."""
+    return Path(__file__).resolve().parent / "baseline.json"
+
+
+def load_baseline(path: Path) -> Dict[str, str]:
+    """Baseline keys -> recorded message (empty when the file is missing)."""
+    if not Path(path).exists():
+        return {}
+    with open(path) as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise ValueError(f"baseline {path} is not a checker baseline file")
+    return {str(entry["key"]): str(entry.get("message", "")) for entry in payload["findings"]}
+
+
+def save_baseline(path: Path, findings: Iterable[Finding]) -> int:
+    """Write ``findings`` as the new baseline; returns the entry count."""
+    entries = sorted(
+        ({"key": finding.key, "message": finding.message} for finding in findings),
+        key=lambda entry: entry["key"],
+    )
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return len(entries)
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Dict[str, str]
+) -> Tuple[List[Finding], List[Finding], List[str]]:
+    """Split findings into (new, baselined) and report stale baseline keys."""
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    seen = set()
+    for finding in findings:
+        seen.add(finding.key)
+        if finding.key in baseline:
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    stale = sorted(key for key in baseline if key not in seen)
+    return new, baselined, stale

@@ -1,0 +1,65 @@
+"""Oracle-coverage checker: every declared fast path has an equivalence test.
+
+The repo's optimization discipline (ROADMAP "Invariants to preserve") is
+that every fast path — the batched PPR frontier, the collation pack, the
+pooled shard build — keeps a slow, obviously-correct reference
+implementation and an equivalence test binding the two bit-for-bit.  The
+code half of that contract is easy to keep; the *test* half silently rots
+when a fast path is renamed or a test file is deleted.
+
+A function opts into the contract with an ``# oracle:`` annotation on its
+``def`` line (or the line above)::
+
+    def multi_source_ppr(...):  # oracle: push_ppr_single
+
+The checker then requires at least one file under ``tests/`` whose text
+mentions **both** the fast path's name and the oracle's trailing name —
+scanning text rather than importing, so the lint never executes repo code.
+When the run cannot locate a tests directory at all (an installed
+package), the checker skips quietly rather than flagging everything.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import LintContext, ModuleSource, register_checker
+
+
+@register_checker("oracle-coverage")
+def check_oracle_coverage(module: ModuleSource, context: LintContext) -> Iterator[Finding]:
+    """Functions annotated ``# oracle: <ref>`` need a test naming both."""
+    if not module.oracle_lines:
+        return
+    if not context.has_tests:
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        oracle = module.oracle_for(node)
+        if oracle is None:
+            continue
+        oracle_name = oracle.rsplit(".", 1)[-1]
+        covered = any(
+            node.name in text and oracle_name in text
+            for text in context.test_sources.values()
+        )
+        if covered:
+            continue
+        yield Finding(
+            checker="oracle-coverage",
+            path=module.relpath,
+            line=node.lineno,
+            scope=node.name,
+            detail=f"oracle:{oracle_name}",
+            message=(
+                f"fast path '{node.name}' declares oracle '{oracle}' but no file "
+                f"under tests/ mentions both '{node.name}' and '{oracle_name}'"
+            ),
+            hint=(
+                f"add an equivalence test comparing {node.name} against "
+                f"{oracle_name} (bit-identical where the contract requires it)"
+            ),
+        )

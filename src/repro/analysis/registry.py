@@ -1,0 +1,161 @@
+"""Checker-plugin registry and the parsed-module model checkers consume.
+
+Mirrors the decorator style of :mod:`repro.api.registry`: each checker
+registers under a string id and receives a :class:`ModuleSource` (one parsed
+file) plus the shared :class:`LintContext`::
+
+    @register_checker("lock-discipline")
+    def check_locks(module: ModuleSource, context: LintContext):
+        yield Finding(...)
+
+Checkers are pure functions over the AST — no imports of the checked code,
+no execution — so ``repro lint`` is safe to run on any tree and fast enough
+for CI (stdlib ``ast`` only).
+
+Source annotations
+------------------
+
+Two comment conventions extend the built-in per-class/per-function
+registries without touching checker code:
+
+``# guarded-by: <lock>``
+    On an attribute assignment line (``self._x = ...  # guarded-by: _idle``)
+    declares the attribute lock-guarded for the enclosing class.
+
+``# oracle: <reference>``
+    On (or immediately above) a ``def`` line declares the function a gated
+    fast path whose equivalence oracle is ``<reference>``; the
+    oracle-coverage checker then requires a test mentioning both names.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.findings import Finding
+
+_GUARDED_BY = re.compile(r"#\s*guarded-by:\s*([A-Za-z_]\w*)")
+_ORACLE = re.compile(r"#\s*oracle:\s*([\w.]+)")
+
+
+@dataclass
+class ModuleSource:
+    """One parsed source file handed to every checker."""
+
+    path: Path  # absolute
+    relpath: str  # repository-relative, forward slashes (finding identity)
+    source: str
+    tree: ast.Module
+    #: line number -> lock name from ``# guarded-by:`` comments.
+    guarded_by_lines: Dict[int, str] = field(default_factory=dict)
+    #: line number -> reference name from ``# oracle:`` comments.
+    oracle_lines: Dict[int, str] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: Path, relpath: str) -> "ModuleSource":
+        source = Path(path).read_text()
+        tree = ast.parse(source, filename=str(path))
+        guarded: Dict[int, str] = {}
+        oracles: Dict[int, str] = {}
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _GUARDED_BY.search(line)
+            if match:
+                guarded[lineno] = match.group(1)
+            match = _ORACLE.search(line)
+            if match:
+                oracles[lineno] = match.group(1)
+        return cls(
+            path=Path(path),
+            relpath=relpath,
+            source=source,
+            tree=tree,
+            guarded_by_lines=guarded,
+            oracle_lines=oracles,
+        )
+
+    def oracle_for(self, node: ast.AST) -> Optional[str]:
+        """The ``# oracle:`` reference for a ``def``, if annotated.
+
+        Accepted positions: any line of the signature (``def`` line through
+        the first body statement) or the line immediately above the ``def``
+        (above its decorators, if any).
+        """
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return None
+        first = node.decorator_list[0].lineno if node.decorator_list else node.lineno
+        body_start = node.body[0].lineno if node.body else node.lineno + 1
+        for lineno in range(first - 1, body_start):
+            if lineno in self.oracle_lines:
+                return self.oracle_lines[lineno]
+        return None
+
+
+@dataclass
+class LintContext:
+    """Cross-file state shared by every checker in one run."""
+
+    root: Path
+    #: ``tests/*.py`` path -> source text; empty when no tests dir exists
+    #: (an installed package) — test-corpus checkers then skip quietly.
+    test_sources: Dict[str, str] = field(default_factory=dict)
+    #: True when the run could locate a tests directory at all.
+    has_tests: bool = False
+
+
+#: A checker maps (module, context) to an iterable of findings.
+Checker = Callable[[ModuleSource, LintContext], Iterable[Finding]]
+
+
+class CheckerRegistry:
+    """Checker id -> callable mapping with decorator registration."""
+
+    def __init__(self) -> None:
+        self._checkers: Dict[str, Checker] = {}
+
+    def register(self, checker_id: str, *, replace: bool = False) -> Callable[[Checker], Checker]:
+        """Decorator registering a checker under ``checker_id``."""
+        key = checker_id.lower()
+
+        def decorator(checker: Checker) -> Checker:
+            if key in self._checkers and not replace:
+                raise ValueError(f"checker {key!r} is already registered")
+            self._checkers[key] = checker
+            return checker
+
+        return decorator
+
+    def names(self) -> List[str]:
+        """Registered checker ids, in registration order."""
+        return list(self._checkers)
+
+    def __contains__(self, checker_id: str) -> bool:
+        return checker_id.lower() in self._checkers
+
+    def get(self, checker_id: str) -> Checker:
+        key = checker_id.lower()
+        if key not in self._checkers:
+            raise KeyError(f"unknown checker {key!r}; options: {self.names()}")
+        return self._checkers[key]
+
+    def run(
+        self,
+        module: ModuleSource,
+        context: LintContext,
+        only: Optional[Iterable[str]] = None,
+    ) -> List[Finding]:
+        """Run (a subset of) the registered checkers over one module."""
+        selected: Tuple[str, ...] = tuple(only) if only is not None else tuple(self._checkers)
+        findings: List[Finding] = []
+        for checker_id in selected:
+            findings.extend(self.get(checker_id)(module, context))
+        return findings
+
+
+#: The default registry used by the runner and the CLI.
+CHECKERS = CheckerRegistry()
+
+register_checker = CHECKERS.register

@@ -1,0 +1,152 @@
+"""Resource-join checker: threads and pools must have a shutdown path.
+
+A ``threading.Thread`` that is never joined, or an executor that is never
+shut down, turns into a test-suite hang or an interpreter-exit deadlock —
+the serving smoke test in CI asserts "no leftover threads" precisely
+because this class of leak is invisible locally.  This checker enforces
+the structural half: every ``Thread``/``Timer``/``ThreadPoolExecutor``/
+``ProcessPoolExecutor``/``Pool`` construction in the checked tree must be
+reachable from a ``join()``/``shutdown()``/``terminate()`` call somewhere
+in the same module.
+
+Accepted ownership shapes mirror the shm checker:
+
+* constructed in a ``with`` statement (executors self-shutdown on exit);
+* returned / yielded / passed on / iterated over (ownership transfer —
+  the thread-list pattern ``for t in threads: t.join()`` counts via the
+  iteration rule);
+* bound to ``self.X`` or a module global ``Y`` — then some call
+  ``<anything>.X.join()`` / ``Y.shutdown()`` / … must exist in the module.
+
+Daemon threads get no exemption on purpose: the dispatcher thread in
+``serving/service.py`` is a daemon *and* joined in ``close()`` — daemonhood
+is the backstop, the join is the contract.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import LintContext, ModuleSource, register_checker
+from repro.analysis.shm import (
+    binding_of,
+    iter_bound_calls,
+    local_escapes,
+    module_functions,
+)
+
+#: Constructor trailing names treated as joinable-resource factories.
+_RESOURCE_FACTORIES = frozenset(
+    {"Thread", "Timer", "ThreadPoolExecutor", "ProcessPoolExecutor", "Pool"}
+)
+
+_JOIN_METHODS = frozenset({"join", "shutdown", "terminate", "close"})
+
+
+def _factory_name(node: ast.Call) -> Optional[str]:
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in _RESOURCE_FACTORIES:
+        return func.attr
+    if isinstance(func, ast.Name) and func.id in _RESOURCE_FACTORIES:
+        return func.id
+    return None
+
+
+def _joined_bindings(tree: ast.Module) -> Set[str]:
+    """Names X for which ``<expr>.X.join()``-style calls exist module-wide.
+
+    Covers ``self._thread.join()`` (X from the attribute chain), bare
+    ``_shared_pool.shutdown()`` on a module global (X from the name), and
+    loop variables (``for t in threads: t.join()`` adds 't').
+    """
+    joined: Set[str] = set()
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        if node.func.attr not in _JOIN_METHODS:
+            continue
+        receiver = node.func.value
+        if isinstance(receiver, ast.Attribute):
+            joined.add(receiver.attr)
+        elif isinstance(receiver, ast.Name):
+            joined.add(receiver.id)
+    return joined
+
+
+def _global_names(function: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(function):
+        if isinstance(node, ast.Global):
+            names.update(node.names)
+    return names
+
+
+def _finding(module: ModuleSource, scope: str, call: ast.Call, factory: str,
+             name: Optional[str], target: str) -> Finding:
+    return Finding(
+        checker="resource-join",
+        path=module.relpath,
+        line=call.lineno,
+        scope=scope,
+        detail=f"{factory}:{name or '<dropped>'}",
+        message=(
+            f"{factory} constructed into {target} has no "
+            "join()/shutdown() call anywhere in this module"
+        ),
+        hint=(
+            "join/shutdown it on a close path, use a 'with' block, "
+            "or return it to transfer ownership"
+        ),
+    )
+
+
+@register_checker("resource-join")
+def check_resource_join(module: ModuleSource, context: LintContext) -> Iterator[Finding]:
+    """Thread/pool constructions need a join/shutdown call in the module."""
+    joined = _joined_bindings(module.tree)
+
+    for function in module_functions(module.tree):
+        declared_global = _global_names(function)
+        for statement, call, factory in iter_bound_calls(function, _factory_name):
+            binding, name = binding_of(statement, call)
+            if binding in ("return", "escapes", "managed"):
+                continue
+            if binding == "attr":
+                if name in joined:
+                    continue
+                target = f"self.{name}"
+            elif binding == "local":
+                if name in joined:
+                    continue
+                if name in declared_global:
+                    # ``global _shared_pool; _shared_pool = Pool(...)`` with
+                    # no shutdown call anywhere: a process-lifetime leak.
+                    target = f"module global '{name}'"
+                else:
+                    escapes, rebound = local_escapes(function, name, statement)
+                    if escapes and rebound is None:
+                        continue
+                    if rebound is not None and rebound in joined:
+                        continue
+                    target = f"local '{name}'"
+            else:
+                target = "<dropped>"
+            yield _finding(module, function.name, call, factory, name, target)
+
+    # Module-level constructions: a top-level ``POOL = ThreadPoolExecutor()``.
+    for statement in module.tree.body:
+        if not isinstance(statement, (ast.Assign, ast.AnnAssign)):
+            continue
+        for call in ast.walk(statement):
+            if not isinstance(call, ast.Call):
+                continue
+            factory = _factory_name(call)
+            if factory is None:
+                continue
+            binding, name = binding_of(statement, call)
+            if name is not None and name in joined:
+                continue
+            yield _finding(module, "<module>", call, factory, name,
+                           f"module global '{name}'" if name else "<dropped>")

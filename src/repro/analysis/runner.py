@@ -1,0 +1,142 @@
+"""Lint runner: walk files, run every registered checker, diff the baseline.
+
+The entry point is :func:`run_lint`, used both by the ``repro lint`` CLI
+subcommand and by the self-run test.  It is import-side-effect driven:
+importing this module imports the checker modules, which register
+themselves with :data:`repro.analysis.registry.CHECKERS`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.findings import (
+    Finding,
+    LintReport,
+    apply_baseline,
+    default_baseline_path,
+    load_baseline,
+)
+from repro.analysis.registry import CHECKERS, LintContext, ModuleSource
+
+# Importing for registration side effects — each module adds its checker.
+from repro.analysis import locks as _locks  # noqa: F401
+from repro.analysis import oracle as _oracle  # noqa: F401
+from repro.analysis import reductions as _reductions  # noqa: F401
+from repro.analysis import resources as _resources  # noqa: F401
+from repro.analysis import shm as _shm  # noqa: F401
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".ruff_cache", ".pytest_cache"})
+
+
+def default_target() -> Path:
+    """The ``src/repro`` package this module was loaded from."""
+    return Path(__file__).resolve().parents[1]
+
+
+def repo_root_for(target: Path) -> Path:
+    """Best-effort repository root: the ancestor holding ``tests/``.
+
+    Falls back to the target itself when no tests directory exists above
+    it (an installed package) — checkers that need the test corpus then
+    skip via ``LintContext.has_tests``.
+    """
+    target = Path(target).resolve()
+    probe = target if target.is_dir() else target.parent
+    for ancestor in (probe, *probe.parents):
+        if (ancestor / "tests").is_dir():
+            return ancestor
+    return probe
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: List[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in candidate.parts):
+                    found.append(candidate)
+        elif path.suffix == ".py":
+            found.append(path)
+    return found
+
+
+def build_context(root: Path) -> LintContext:
+    """Load the tests corpus (text only — never imported) for ``root``."""
+    tests_dir = Path(root) / "tests"
+    sources: Dict[str, str] = {}
+    if tests_dir.is_dir():
+        for path in sorted(tests_dir.rglob("*.py")):
+            if any(part in _SKIP_DIRS for part in path.parts):
+                continue
+            try:
+                sources[str(path)] = path.read_text()
+            except OSError:
+                continue
+    return LintContext(root=Path(root), test_sources=sources, has_tests=tests_dir.is_dir())
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return Path(path).resolve().relative_to(Path(root).resolve()).as_posix()
+    except ValueError:
+        return Path(path).name
+
+
+def collect_findings(
+    paths: Optional[Sequence[Path]] = None,
+    *,
+    root: Optional[Path] = None,
+    only: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Raw findings (pre-baseline) for the given files or directories."""
+    targets = [Path(p) for p in paths] if paths else [default_target()]
+    resolved_root = Path(root) if root is not None else repo_root_for(targets[0])
+    context = build_context(resolved_root)
+    findings: List[Finding] = []
+    for path in iter_python_files(targets):
+        relpath = _relpath(path, resolved_root)
+        try:
+            module = ModuleSource.parse(path, relpath)
+        except (SyntaxError, UnicodeDecodeError, OSError) as error:
+            findings.append(
+                Finding(
+                    checker="parse",
+                    path=relpath,
+                    line=getattr(error, "lineno", None) or 1,
+                    scope="<module>",
+                    detail="parse-error",
+                    message=f"could not parse: {error}",
+                    hint="fix the syntax error; all checkers skipped this file",
+                )
+            )
+            continue
+        findings.extend(CHECKERS.run(module, context, only=only))
+    return findings
+
+
+def run_lint(
+    paths: Optional[Sequence[Path]] = None,
+    *,
+    root: Optional[Path] = None,
+    baseline_path: Optional[Path] = None,
+    only: Optional[Iterable[str]] = None,
+) -> LintReport:
+    """Run the checkers and split findings against the committed baseline."""
+    selected = tuple(only) if only is not None else tuple(CHECKERS.names())
+    findings = collect_findings(paths, root=root, only=selected)
+    baseline = load_baseline(
+        baseline_path if baseline_path is not None else default_baseline_path()
+    )
+    new, baselined, stale = apply_baseline(findings, baseline)
+    files = iter_python_files([Path(p) for p in paths] if paths else [default_target()])
+    return LintReport(
+        new=new,
+        baselined=baselined,
+        stale_keys=stale,
+        files_checked=len(files),
+        checkers_run=selected,
+    )

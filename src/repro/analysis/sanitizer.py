@@ -1,0 +1,305 @@
+"""Runtime concurrency sanitizer: lock-order tracking + shm segment census.
+
+The static checkers prove structure; this module watches behavior.  With
+``REPRO_SANITIZE=1`` in the environment:
+
+* :func:`tracked_rlock` / :func:`tracked_condition` return proxies that
+  record every acquisition into a process-global *acquisition graph*
+  (edge A→B = "B was acquired while holding A").  A new edge that closes
+  a cycle is a **lock-order inversion** — the statically-detectable half
+  of a deadlock — and is recorded with both stacks' lock names and the
+  call site.  The proxies forward ``_is_owned``/``_release_save``/
+  ``_acquire_restore`` so they compose with ``threading.Condition``
+  (whose ``wait()`` fully releases and re-acquires the lock).
+* :func:`note_segment_created` / :func:`note_segment_unlinked` maintain a
+  census of shared-memory segments this process created; anything still
+  in the census at interpreter exit is a leak and is reported to stderr
+  by an ``atexit`` hook (and asserted empty by the test-suite fixture).
+
+Without the environment flag every entry point degrades to the plain
+stdlib object or a no-op, so production code pays one attribute check at
+construction time and nothing per acquisition.
+
+This module must stay stdlib-only: it is imported by
+``graph/adjacency.py``, which sits below everything else in the package.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import sys
+import threading
+import traceback
+from typing import Dict, List, Optional, Set, Tuple
+
+
+def enabled() -> bool:
+    """True when ``REPRO_SANITIZE`` is set to anything but '' or '0'."""
+    return os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+
+
+class _Sanitizer:
+    """Process-global acquisition graph + shm census (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()  # plain Lock: never tracked itself
+        #: lock name -> names acquired while it was held.
+        self._edges: Dict[str, Set[str]] = {}
+        #: (holder, acquired) -> "file:line" of the first observation.
+        self._edge_sites: Dict[Tuple[str, str], str] = {}
+        self._violations: List[str] = []
+        self._segments: Dict[str, str] = {}  # segment name -> creation site
+        self._local = threading.local()
+
+    # -- per-thread held-lock stack -------------------------------------
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _counts(self) -> Dict[str, int]:
+        counts = getattr(self._local, "counts", None)
+        if counts is None:
+            counts = {}
+            self._local.counts = counts
+        return counts
+
+    @staticmethod
+    def _call_site() -> str:
+        for frame in reversed(traceback.extract_stack(limit=16)):
+            if "analysis/sanitizer" not in frame.filename.replace("\\", "/"):
+                return f"{frame.filename}:{frame.lineno}"
+        return "<unknown>"
+
+    # -- lock-order tracking --------------------------------------------
+
+    def note_acquire(self, name: str) -> None:
+        counts = self._counts()
+        depth = counts.get(name, 0) + 1
+        counts[name] = depth
+        if depth > 1:
+            return  # re-entrant re-acquire: no new ordering information
+        stack = self._stack()
+        if stack:
+            self._record_edge(stack[-1], name)
+        stack.append(name)
+
+    def note_release(self, name: str) -> None:
+        counts = self._counts()
+        depth = counts.get(name, 0) - 1
+        if depth > 0:
+            counts[name] = depth
+            return
+        counts.pop(name, None)
+        stack = self._stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] == name:
+                del stack[index]
+                break
+
+    def note_release_all(self, name: str) -> int:
+        """Condition.wait path: drop every recursion level, return depth."""
+        counts = self._counts()
+        depth = counts.pop(name, 0)
+        stack = self._stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] == name:
+                del stack[index]
+                break
+        return depth
+
+    def note_acquire_restore(self, name: str, depth: int) -> None:
+        self._counts()[name] = max(depth, 1)
+        stack = self._stack()
+        if stack:
+            self._record_edge(stack[-1], name)
+        stack.append(name)
+
+    def _record_edge(self, holder: str, acquired: str) -> None:
+        if holder == acquired:
+            return
+        with self._mutex:
+            successors = self._edges.setdefault(holder, set())
+            if acquired in successors:
+                return
+            successors.add(acquired)
+            self._edge_sites[(holder, acquired)] = self._call_site()
+            cycle = self._find_cycle(acquired, holder)
+            if cycle is not None:
+                path = [holder, *cycle]
+                description = " -> ".join(path)
+                sites = "; ".join(
+                    f"{a}->{b} first seen at {self._edge_sites.get((a, b), '?')}"
+                    for a, b in zip(path, path[1:])
+                )
+                self._violations.append(
+                    f"lock-order inversion: {description} ({sites})"
+                )
+
+    def _find_cycle(self, start: str, goal: str) -> Optional[List[str]]:
+        """DFS path start -> ... -> goal through the acquisition graph."""
+        seen = {start}
+        frontier: List[Tuple[str, List[str]]] = [(start, [start])]
+        while frontier:
+            node, path = frontier.pop()
+            if node == goal:
+                return path
+            for successor in self._edges.get(node, ()):
+                if successor not in seen:
+                    seen.add(successor)
+                    frontier.append((successor, path + [successor]))
+        return None
+
+    # -- shm census ------------------------------------------------------
+
+    def note_segment_created(self, name: str) -> None:
+        site = self._call_site()
+        with self._mutex:
+            self._segments[name] = site
+
+    def note_segment_unlinked(self, name: str) -> None:
+        with self._mutex:
+            self._segments.pop(name, None)
+
+    # -- reporting -------------------------------------------------------
+
+    def lock_order_violations(self) -> List[str]:
+        with self._mutex:
+            return list(self._violations)
+
+    def shm_leaks(self) -> List[str]:
+        with self._mutex:
+            return [f"{name} (created at {site})" for name, site in self._segments.items()]
+
+    def tracked_segments(self) -> Set[str]:
+        with self._mutex:
+            return set(self._segments)
+
+    def reset(self) -> None:
+        """Drop all recorded state (test isolation)."""
+        with self._mutex:
+            self._edges.clear()
+            self._edge_sites.clear()
+            self._violations.clear()
+            self._segments.clear()
+
+
+_SANITIZER = _Sanitizer()
+
+
+class _TrackedRLock:
+    """An ``threading.RLock`` proxy feeding the acquisition graph.
+
+    Not a subclass — ``_thread.RLock`` is a C type — but forwards the full
+    protocol ``threading.Condition`` relies on, including the save/restore
+    pair used by ``wait()``.
+    """
+
+    __slots__ = ("_name", "_inner")
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._inner = threading.RLock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            _SANITIZER.note_acquire(self._name)
+        return acquired
+
+    def release(self) -> None:
+        self._inner.release()
+        _SANITIZER.note_release(self._name)
+
+    def __enter__(self) -> "_TrackedRLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    # Condition protocol ------------------------------------------------
+
+    def _is_owned(self) -> bool:
+        return self._inner._is_owned()
+
+    def _release_save(self) -> Tuple[object, int]:
+        state = self._inner._release_save()
+        depth = _SANITIZER.note_release_all(self._name)
+        return (state, depth)
+
+    def _acquire_restore(self, saved: Tuple[object, int]) -> None:
+        state, depth = saved
+        self._inner._acquire_restore(state)
+        _SANITIZER.note_acquire_restore(self._name, depth)
+
+    def _at_fork_reinit(self) -> None:
+        reinit = getattr(self._inner, "_at_fork_reinit", None)
+        if reinit is not None:
+            reinit()
+
+    def __repr__(self) -> str:
+        return f"<TrackedRLock {self._name!r} wrapping {self._inner!r}>"
+
+
+def tracked_rlock(name: str) -> threading.RLock:
+    """A (possibly tracked) re-entrant lock named for diagnostics."""
+    if not enabled():
+        return threading.RLock()
+    return _TrackedRLock(name)  # type: ignore[return-value]
+
+
+def tracked_condition(name: str) -> threading.Condition:
+    """A condition variable whose underlying lock is (possibly) tracked."""
+    if not enabled():
+        return threading.Condition()
+    return threading.Condition(_TrackedRLock(name))  # type: ignore[arg-type]
+
+
+def note_segment_created(name: str) -> None:
+    """Census hook: a shared-memory segment was created by this process."""
+    if enabled():
+        _SANITIZER.note_segment_created(name)
+
+
+def note_segment_unlinked(name: str) -> None:
+    """Census hook: a tracked segment was unlinked (or ownership left us)."""
+    if enabled():
+        _SANITIZER.note_segment_unlinked(name)
+
+
+def lock_order_violations() -> List[str]:
+    """All lock-order inversions observed so far (empty when disabled)."""
+    return _SANITIZER.lock_order_violations()
+
+
+def shm_leaks() -> List[str]:
+    """Tracked segments not yet unlinked (empty when disabled)."""
+    return _SANITIZER.shm_leaks()
+
+
+def reset() -> None:
+    """Clear all sanitizer state — for test isolation only."""
+    _SANITIZER.reset()
+
+
+def _atexit_report() -> None:
+    if not enabled():
+        return
+    violations = _SANITIZER.lock_order_violations()
+    leaks = _SANITIZER.shm_leaks()
+    if not violations and not leaks:
+        return
+    print("=== repro sanitizer report ===", file=sys.stderr)
+    for violation in violations:
+        print(f"  {violation}", file=sys.stderr)
+    for leak in leaks:
+        print(f"  shm segment leaked: {leak}", file=sys.stderr)
+    print("=== end sanitizer report ===", file=sys.stderr)
+
+
+atexit.register(_atexit_report)

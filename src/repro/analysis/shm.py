@@ -1,0 +1,340 @@
+"""Shm-lifecycle checker: every shared segment must have a release path.
+
+POSIX shared memory outlives the process: a ``SharedMemory`` segment that
+is never ``unlink``-ed leaks until reboot, and an attached handle that is
+never ``close``-d keeps the mapping (and, with the resource tracker, can
+spuriously destroy it at worker exit — the bug class ``_attach_segment``
+exists to dodge).  This checker enforces the structural half of the
+discipline statically:
+
+* A **creation site** (``SharedArray.create``, ``SharedCSR.create``,
+  ``SharedMemory(..., create=True)``) must either transfer ownership (the
+  created object flows into a ``return``, a ``with`` block, or another
+  call — a registry, a finalizer) or be stored somewhere a cleanup method
+  in the same module can reach: the binding attribute must be referenced
+  from a method whose name looks like a close path
+  (``close``/``unlink``/``release*``/``shutdown``/``__exit__``/…).
+* An **attach site** (``*.attach(...)``, ``_attach_segment(...)``,
+  ``SharedMemory(name=...)``) must pair with a detach the same way; the
+  cleanup may reference either the attached binding or the handle it was
+  attached *from* (closing the handle closes the mapping).
+
+The cleanup search is module-wide, not class-wide, because ownership is
+sometimes split across classes (``SharedGraphView.close`` releases the
+``_SharedRelationView`` members it aggregates).  The runtime complement —
+the ``REPRO_SANITIZE=1`` segment census — catches what static reachability
+cannot (a close path that exists but is never called).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Callable, Iterator, List, Optional, Set, Tuple, TypeVar
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import LintContext, ModuleSource, register_checker
+
+_CLEANUP_NAME = re.compile(
+    r"(close|unlink|release|shutdown|stop|detach|clear|terminate|teardown|join|"
+    r"__exit__|__del__)",
+    re.IGNORECASE,
+)
+
+#: ``<Class>.create(...)`` receivers treated as shared-segment factories.
+_FACTORY_CLASSES = re.compile(r"^Shared[A-Za-z]*$")
+
+#: Statement types that directly bind an expression's value.
+_SIMPLE_STMTS = (ast.Assign, ast.AnnAssign, ast.AugAssign, ast.Return, ast.Expr)
+
+_T = TypeVar("_T")
+
+
+def _walk_own(function: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function's own body without descending into nested defs.
+
+    Nested functions are separate scopes with their own locals; each one
+    is analyzed independently by the caller.
+    """
+    body = function.body if isinstance(function.body, list) else [function.body]
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def iter_bound_calls(
+    function: ast.AST, matcher: Callable[[ast.Call], Optional[_T]]
+) -> Iterator[Tuple[Optional[ast.stmt], ast.Call, _T]]:
+    """(binding statement, call, tag) for matcher-selected calls.
+
+    The binding statement is the *innermost* simple statement containing
+    the call — the one whose targets say where the value went.  Calls that
+    appear as ``with``-items yield ``None`` for the statement (a context
+    manager is its own release path).  Calls elsewhere (conditions,
+    ``for``-iterables) are skipped: they read, they don't own.
+    """
+    handled: Set[int] = set()
+    for statement in _walk_own(function):
+        if isinstance(statement, _SIMPLE_STMTS):
+            for call in ast.walk(statement):
+                if not isinstance(call, ast.Call) or id(call) in handled:
+                    continue
+                tag = matcher(call)
+                if tag is not None:
+                    handled.add(id(call))
+                    yield statement, call, tag
+        elif isinstance(statement, (ast.With, ast.AsyncWith)):
+            for item in statement.items:
+                for call in ast.walk(item.context_expr):
+                    if not isinstance(call, ast.Call) or id(call) in handled:
+                        continue
+                    tag = matcher(call)
+                    if tag is not None:
+                        handled.add(id(call))
+                        yield None, call, tag
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    """Trailing name of the callee: ``a.b.C(...)`` -> ``C``."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _has_kw(node: ast.Call, name: str, value: object) -> bool:
+    for keyword in node.keywords:
+        if keyword.arg == name and isinstance(keyword.value, ast.Constant):
+            if keyword.value.value == value:
+                return True
+    return False
+
+
+def _classify_call(node: ast.Call) -> Optional[str]:
+    """'create', 'attach', or None for one call expression."""
+    name = _call_name(node)
+    if name == "create" and isinstance(node.func, ast.Attribute):
+        receiver = node.func.value
+        if isinstance(receiver, ast.Name) and _FACTORY_CLASSES.match(receiver.id):
+            return "create"
+        return None
+    if name == "SharedMemory":
+        return "create" if _has_kw(node, "create", True) else "attach"
+    if name == "attach" and isinstance(node.func, ast.Attribute):
+        return "attach"
+    if name == "_attach_segment":
+        return "attach"
+    return None
+
+
+def _receiver_attr(node: ast.Call) -> Optional[str]:
+    """For ``self.X.attach()`` / ``payload._emb.attach()`` -> ``X``."""
+    if isinstance(node.func, ast.Attribute) and isinstance(node.func.value, ast.Attribute):
+        return node.func.value.attr
+    return None
+
+
+def _cleanup_functions(tree: ast.Module) -> List[ast.FunctionDef]:
+    """Every function in the module whose name reads like a close path."""
+    return [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and _CLEANUP_NAME.search(node.name)
+    ]
+
+
+def released_names(tree: ast.Module) -> Set[str]:
+    """Attribute/variable names touched by any cleanup-named function."""
+    seen: Set[str] = set()
+    for function in _cleanup_functions(tree):
+        for node in ast.walk(function):
+            if isinstance(node, ast.Attribute):
+                seen.add(node.attr)
+            elif isinstance(node, ast.Name):
+                seen.add(node.id)
+            elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+                # ``self.__dict__["_segment"]`` / getattr-by-name cleanup.
+                seen.add(node.value)
+    return seen
+
+
+def _names_in(node: ast.AST) -> Set[str]:
+    return {child.id for child in ast.walk(node) if isinstance(child, ast.Name)}
+
+
+def binding_of(statement: Optional[ast.stmt], call: ast.Call) -> Tuple[str, Optional[str]]:
+    """How the call's value is bound by its innermost simple statement.
+
+    Returns (kind, name): kind is 'managed' | 'return' | 'attr' | 'local' |
+    'escapes' | 'dropped'; name is the attribute or variable when bound.
+    """
+    if statement is None:
+        return "managed", None  # with-statement context manager
+    if isinstance(statement, ast.Return):
+        return "return", None
+    if isinstance(statement, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+        targets = (
+            statement.targets if isinstance(statement, ast.Assign) else [statement.target]
+        )
+        for target in targets:
+            if isinstance(target, ast.Attribute):
+                return "attr", target.attr
+            if isinstance(target, ast.Name):
+                return "local", target.id
+            if isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    if isinstance(element, ast.Name):
+                        return "local", element.id
+    # Creation directly as a call argument escapes to the callee
+    # (register(...), weakref.finalize(...), constructor wrapping).
+    for node in ast.walk(statement):
+        if not isinstance(node, ast.Call) or node is call:
+            continue
+        if call in node.args or any(keyword.value is call for keyword in node.keywords):
+            return "escapes", None
+    return "dropped", None
+
+
+def local_escapes(function: ast.AST, name: str, origin: ast.stmt) -> Tuple[bool, Optional[str]]:
+    """Does local ``name`` leave ``function`` or get cleaned up in place?
+
+    Returns (escapes, rebound_attr).  The local escapes when it is
+    returned/yielded, passed to another call, iterated over (its elements
+    are handed to the loop body — the thread-list/join pattern), used as a
+    context manager, or has a cleanup-named method called on it directly.
+    When it is stored as ``obj.X = name`` the attribute ``X`` is reported
+    so the module-wide cleanup search can chase it instead.
+    """
+    rebound: Optional[str] = None
+    for node in _walk_own(function):
+        if node is origin:
+            continue
+        if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            if node.value is not None and name in _names_in(node.value):
+                return True, None
+        if isinstance(node, ast.Call):
+            if (
+                isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == name
+                and _CLEANUP_NAME.search(node.func.attr)
+            ):
+                return True, None  # seg.close() / pool.shutdown() in place
+            arg_names: Set[str] = set()
+            for arg in node.args:
+                arg_names |= _names_in(arg)
+            for keyword in node.keywords:
+                arg_names |= _names_in(keyword.value)
+            if name in arg_names:
+                return True, None
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            if name in _names_in(node.iter):
+                return True, None
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == name
+                ):
+                    rebound = target.attr
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if name in _names_in(item.context_expr):
+                    return True, None
+    return rebound is not None, rebound
+
+
+def module_functions(tree: ast.Module) -> List[ast.FunctionDef]:
+    return [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+
+
+@register_checker("shm-lifecycle")
+def check_shm_lifecycle(module: ModuleSource, context: LintContext) -> Iterator[Finding]:
+    """Shared-memory create/attach sites need a reachable release path."""
+    if "Shared" not in module.source and "_attach_segment" not in module.source:
+        return
+    released = released_names(module.tree)
+
+    for function in module_functions(module.tree):
+        for statement, call, kind in iter_bound_calls(function, _classify_call):
+            verb = "created" if kind == "create" else "attached"
+            release_verb = "unlink/close" if kind == "create" else "close"
+            binding, name = binding_of(statement, call)
+            if binding in ("return", "escapes", "managed"):
+                continue  # ownership transferred or scoped
+            if binding == "attr":
+                # Attaches may be released via the handle they came from.
+                candidates = {name}
+                receiver = _receiver_attr(call)
+                if kind == "attach" and receiver is not None:
+                    candidates.add(receiver)
+                if candidates & released:
+                    continue
+                yield Finding(
+                    checker="shm-lifecycle",
+                    path=module.relpath,
+                    line=call.lineno,
+                    scope=function.name,
+                    detail=f"{kind}:{name}",
+                    message=(
+                        f"shared segment {verb} into 'self.{name}' has no "
+                        f"{release_verb} path — no cleanup-named method in this "
+                        f"module references {sorted(candidates)}"
+                    ),
+                    hint=(
+                        f"add a close()/unlink() method that releases 'self.{name}', "
+                        "or route it through release_shared()/weakref.finalize"
+                    ),
+                )
+                continue
+            if binding == "local":
+                escapes, rebound = local_escapes(function, name, statement)
+                if escapes and rebound is None:
+                    continue
+                if rebound is not None and rebound in released:
+                    continue
+                if rebound is None:
+                    target = f"local '{name}'"
+                else:
+                    target = f"'self.{rebound}' (via local '{name}')"
+                yield Finding(
+                    checker="shm-lifecycle",
+                    path=module.relpath,
+                    line=call.lineno,
+                    scope=function.name,
+                    detail=f"{kind}:{name}",
+                    message=(
+                        f"shared segment {verb} into {target} never reaches a "
+                        f"{release_verb} path in this module"
+                    ),
+                    hint=(
+                        f"call {release_verb}() before the function exits, return "
+                        "the object to transfer ownership, or store it where a "
+                        "cleanup method releases it"
+                    ),
+                )
+                continue
+            yield Finding(
+                checker="shm-lifecycle",
+                path=module.relpath,
+                line=call.lineno,
+                scope=function.name,
+                detail=f"{kind}:<dropped>",
+                message=(
+                    f"shared segment {verb} and immediately dropped — "
+                    "it can never be released"
+                ),
+                hint="bind the result and release it, or remove the call",
+            )

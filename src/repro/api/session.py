@@ -26,11 +26,11 @@ needed:
 from __future__ import annotations
 
 import inspect
-import threading
 from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.sanitizer import tracked_rlock
 from repro.core.base import BotDetector
 from repro.graph import HeteroGraph
 from repro.sampling.biased import shutdown_shared_pool
@@ -128,7 +128,7 @@ class DetectionSession:
         # sequence atomic per call.  Concurrency-driven *throughput* comes
         # from coalescing requests (``repro.serving.MicroBatcher``), not from
         # racing the model.
-        self._lock = threading.RLock()
+        self._lock = tracked_rlock("DetectionSession._lock")
         # Whether detector.invalidate_nodes accepts the per-relation refresh
         # kwargs — resolved once (signature introspection is not free and the
         # answer is constant per session).
@@ -154,8 +154,9 @@ class DetectionSession:
 
     # ------------------------------------------------------------------
     def _check_open(self) -> None:
-        if self._closed:
-            raise RuntimeError("DetectionSession is closed")
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("DetectionSession is closed")
 
     @property
     def store(self):
@@ -356,7 +357,8 @@ class DetectionSession:
         self.close()
 
     def __repr__(self) -> str:
-        state = "closed" if self._closed else "open"
+        with self._lock:
+            state = "closed" if self._closed else "open"
         return (
             f"DetectionSession(detector={type(self.detector).__name__}, "
             f"graph={self.graph.name!r}, {state})"

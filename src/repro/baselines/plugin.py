@@ -11,7 +11,7 @@ cached flat collation), consuming the unchanged ``SubgraphBatch`` contract.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Optional
 
 import numpy as np
 import scipy.sparse as sp

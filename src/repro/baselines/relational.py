@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 import scipy.sparse as sp
@@ -11,7 +11,7 @@ from repro.baselines.fullgraph import FullGraphGNNDetector
 from repro.graph import HeteroGraph, normalized_adjacency
 from repro.nn import Dropout, GATConv, Linear, RGCNConv, SemanticAttention
 from repro.sampling import greedy_partition
-from repro.tensor import Module, Tensor, leaky_relu, relu, softmax
+from repro.tensor import Module, Tensor, leaky_relu, softmax
 
 
 def _relation_adjacencies(graph: HeteroGraph, normalize: bool = True) -> Dict[str, sp.csr_matrix]:

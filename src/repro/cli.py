@@ -148,6 +148,34 @@ def build_parser() -> argparse.ArgumentParser:
                               help="also write the raw result JSON")
 
     subparsers.add_parser("detectors", help="list registered detector names")
+
+    lint_parser = subparsers.add_parser(
+        "lint", help="run the invariant checkers (lock/shm/reduction/oracle/resource)"
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*", default=None, metavar="PATH",
+        help="files or directories to check (default: the installed repro package)",
+    )
+    lint_parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline file (default: the committed analysis/baseline.json)",
+    )
+    lint_parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="record every current finding as the new baseline and exit",
+    )
+    lint_parser.add_argument(
+        "--check", action="store_true",
+        help="CI mode: also fail on stale baseline entries",
+    )
+    lint_parser.add_argument(
+        "--show-baselined", action="store_true",
+        help="print suppressed pre-existing findings too",
+    )
+    lint_parser.add_argument(
+        "--only", action="append", default=None, metavar="CHECKER",
+        help="run only this checker id (repeatable)",
+    )
     return parser
 
 
@@ -265,6 +293,36 @@ def _cmd_serve_bench(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    # Lazy import: the checker suite is pure stdlib but there is no reason
+    # to parse it for every ``repro run``.
+    from pathlib import Path as _Path
+
+    from repro.analysis import (
+        collect_findings,
+        default_baseline_path,
+        run_lint,
+        save_baseline,
+    )
+
+    paths = [_Path(p) for p in args.paths] if args.paths else None
+    baseline_path = (
+        _Path(args.baseline) if args.baseline else default_baseline_path()
+    )
+    if args.write_baseline:
+        findings = collect_findings(paths, only=args.only)
+        count = save_baseline(baseline_path, findings)
+        print(f"wrote {count} finding(s) to {baseline_path}")
+        return 0
+    report = run_lint(paths, baseline_path=baseline_path, only=args.only)
+    print(report.render(show_baselined=args.show_baselined))
+    if not report.ok:
+        return 1
+    if args.check and report.stale_keys:
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -293,6 +351,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in api.available_detectors():
             print(name)
         return 0
+
+    if args.command == "lint":
+        return _cmd_lint(args)
 
     return 1  # pragma: no cover - argparse enforces the choices above
 

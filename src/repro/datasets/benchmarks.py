@@ -10,7 +10,7 @@ profile and the community structure of TwiBot-22 are preserved.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
-import numpy as np
 
 from repro.experiments.runner import CORE_DETECTORS, build_benchmark, make_detector
 from repro.experiments.settings import SMALL, ExperimentScale

@@ -8,7 +8,6 @@ import numpy as np
 
 from repro.api import create_detector
 from repro.core.base import BotDetector
-from repro.core.trainer import TrainingHistory
 from repro.datasets import BotBenchmark, load_benchmark
 from repro.experiments.settings import ExperimentScale, SMALL
 

@@ -11,6 +11,8 @@ from typing import Optional, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from repro.analysis.sanitizer import note_segment_created, note_segment_unlinked
+
 
 def to_symmetric(adjacency: sp.spmatrix) -> sp.csr_matrix:
     """Make an adjacency symmetric (edges become undirected, binarised)."""
@@ -124,6 +126,7 @@ class SharedArray:
         if array.size == 0:
             return cls(None, array.shape, array.dtype.str, inline=array)
         segment = shared_memory.SharedMemory(create=True, size=array.nbytes)
+        note_segment_created(segment.name)
         view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
         view[...] = array
         shared = cls(segment.name, array.shape, array.dtype.str)
@@ -168,6 +171,9 @@ class SharedArray:
         except FileNotFoundError:
             pass
         finally:
+            # Counted as released either way: a FileNotFoundError means the
+            # segment is already gone (another owner unlinked it first).
+            note_segment_unlinked(self.name)
             self._segment = segment
             self.close()
 

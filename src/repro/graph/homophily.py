@@ -8,7 +8,7 @@ of the biased subgraph construction (Figure 8).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Sequence
 
 import numpy as np
 import scipy.sparse as sp

@@ -108,7 +108,7 @@ class PushOperator:
         self.transition = sp.diags(inv) @ matrix
 
 
-def multi_source_ppr(
+def multi_source_ppr(  # oracle: approximate_ppr
     adjacency: sp.spmatrix,
     sources: Sequence[int],
     alpha: float = 0.15,
@@ -316,6 +316,9 @@ def _push_chunk(
                 # indexing on axis 1), and numpy's axis-1 reduction rounds
                 # differently on F- vs C-ordered memory — the sparse rounds
                 # replicate this exact layout to stay bit-identical.
+                # Deliberately unpinned (recorded in analysis/baseline.json):
+                # pinning the layout would change the rounding and invalidate
+                # every content-addressed cache keyed on today's bits.
                 spread[np.arange(alive.size), live_sources] += pushed[:, dangling].sum(axis=1)
             residuals += (1.0 - alpha) * spread
             column_active = None

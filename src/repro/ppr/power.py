@@ -6,7 +6,6 @@ against, and for small graphs where exactness is cheap.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 import scipy.sparse as sp

@@ -105,6 +105,9 @@ class _SharedBuilderPayload:
         builder.node_embeddings = self.embeddings.attach()
         for name, value in self.params.items():
             setattr(builder, name, value)
+        # Baselined in analysis/baseline.json: these attached views are backed
+        # by the ``self.sym`` handles, and ``close()`` releases the mapping
+        # through them — a dataflow the static shm checker cannot follow.
         builder._relation_adjacency = {
             name: shared.attach() for name, shared in self.sym.items()
         }
@@ -454,6 +457,7 @@ class BiasedSubgraphBuilder:
     # ------------------------------------------------------------------
     # Batched engine
     # ------------------------------------------------------------------
+    # oracle: build
     def build_batch(self, nodes: Iterable[int]) -> List[Subgraph]:
         """Construct subgraphs for a whole frontier of centers at once.
 

@@ -28,15 +28,15 @@ consumers that map outputs back to nodes use ``SubgraphBatch.center_nodes``.
 from __future__ import annotations
 
 import os
-import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 
+from repro.analysis.sanitizer import tracked_rlock
 from repro.graph import HeteroGraph, normalized_adjacency
 from repro.graph.homophily import node_homophily_ratios
 
@@ -345,7 +345,7 @@ def _collate_flat(
     return batch, batch_nodes
 
 
-def collate_many(
+def collate_many(  # oracle: collate_subgraphs
     store: "SubgraphStore",
     nodes: Sequence[int],
     normalize: bool = True,
@@ -388,7 +388,7 @@ class SubgraphStore:
 
     def __init__(self, graph: HeteroGraph, cache_capacity: int = 128) -> None:
         self.graph = graph
-        self._lock = threading.RLock()
+        self._lock = tracked_rlock("SubgraphStore._lock")
         self._store: Dict[int, Subgraph] = {}
         self._packs: Dict[bool, _CollationPack] = {}
         self._center_index: Optional[Tuple[np.ndarray, np.ndarray]] = None
@@ -405,10 +405,12 @@ class SubgraphStore:
         self.build_count = 0
 
     def __contains__(self, node: int) -> bool:
-        return int(node) in self._store
+        with self._lock:
+            return int(node) in self._store
 
     def __len__(self) -> int:
-        return len(self._store)
+        with self._lock:
+            return len(self._store)
 
     def add(self, subgraph: Subgraph) -> None:
         with self._lock:
@@ -430,18 +432,21 @@ class SubgraphStore:
 
     def __setstate__(self, state) -> None:
         self.__dict__.update(state)
-        self._lock = threading.RLock()
+        self._lock = tracked_rlock("SubgraphStore._lock")
 
     def get(self, node: int) -> Subgraph:
-        return self._store[int(node)]
+        with self._lock:
+            return self._store[int(node)]
 
     def nodes(self) -> List[int]:
-        return list(self._store.keys())
+        with self._lock:
+            return list(self._store.keys())
 
     def subgraphs(self, nodes: Optional[Iterable[int]] = None) -> List[Subgraph]:
-        if nodes is None:
-            return list(self._store.values())
-        return [self._store[int(node)] for node in nodes]
+        with self._lock:
+            if nodes is None:
+                return list(self._store.values())
+            return [self._store[int(node)] for node in nodes]
 
     # ------------------------------------------------------------------
     # Vectorized center -> subgraph lookup
@@ -565,8 +570,9 @@ class SubgraphStore:
 
     def has_collation_pack(self, normalize: bool = True) -> bool:
         """True when the flat arrays for ``normalize`` are built and current."""
-        pack = self._packs.get(normalize)
-        return pack is not None and pack.num_subgraphs == len(self._store)
+        with self._lock:
+            pack = self._packs.get(normalize)
+            return pack is not None and pack.num_subgraphs == len(self._store)
 
     # ------------------------------------------------------------------
     # Cross-epoch collated-batch cache
@@ -664,7 +670,8 @@ class SubgraphStore:
         raw edges (unless ``include_normalized=False``), so a loaded store
         starts its first epoch without re-normalizing anything.
         """
-        subgraphs = list(self._store.values())
+        with self._lock:
+            subgraphs = list(self._store.values())
         relation_names = sorted({name for sg in subgraphs for name in sg.relation_edges})
         empty = np.empty(0, dtype=np.int64)
 
@@ -761,7 +768,9 @@ class SubgraphStore:
         """Mean center-node homophily over stored subgraphs (Figure 8)."""
         labels = self.graph.labels
         values = []
-        for subgraph in self._store.values():
+        with self._lock:
+            subgraphs = list(self._store.values())
+        for subgraph in subgraphs:
             if label_filter is not None and labels[subgraph.center] != label_filter:
                 continue
             ratio = subgraph.center_homophily(labels)

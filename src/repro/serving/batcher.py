@@ -38,6 +38,8 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.analysis.sanitizer import tracked_condition
+
 
 class BatcherClosed(RuntimeError):
     """Raised by :meth:`MicroBatcher.submit` after :meth:`MicroBatcher.close`."""
@@ -147,7 +149,7 @@ class MicroBatcher:
         self.max_batch_size = int(max_batch_size)
         self.max_wait_s = float(max_wait_ms) / 1000.0
         self._clock = clock
-        self._condition = threading.Condition()
+        self._condition = tracked_condition("MicroBatcher._condition")
         self._queue: List[ScoreRequest] = []
         self._closed = False
 
@@ -224,6 +226,7 @@ class MicroBatcher:
         return wave
 
     def _prefix_nodes(self) -> int:
+        """Node rows carried by the head prefix.  Caller holds ``_condition``."""
         total = 0
         for request in self._queue:
             total += request.num_nodes
@@ -232,7 +235,10 @@ class MicroBatcher:
         return total
 
     def _wave_prefix_length(self) -> int:
-        """Number of head requests whose rows fit one wave (min. one)."""
+        """Number of head requests whose rows fit one wave (min. one).
+
+        Caller holds ``_condition``.
+        """
         total = 0
         length = 0
         for request in self._queue:

@@ -33,7 +33,7 @@ graph, which is what keeps the log's ordering meaningful.
 
 from __future__ import annotations
 
-import threading
+from repro.analysis.sanitizer import tracked_rlock
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
@@ -67,7 +67,7 @@ class DeltaLog:
 
     def __init__(self, graph: HeteroGraph) -> None:
         self.graph = graph
-        self._lock = threading.Lock()
+        self._lock = tracked_rlock("DeltaLog._lock")
         self._pending: List[GraphDelta] = []
         self._next_seq = 0
         self._applied_seq = -1

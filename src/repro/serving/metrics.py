@@ -14,7 +14,7 @@ a fixed memory footprint regardless of traffic.
 
 from __future__ import annotations
 
-import threading
+from repro.analysis.sanitizer import tracked_rlock
 from typing import Dict, Optional
 
 import numpy as np
@@ -33,7 +33,7 @@ class LatencyHistogram:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = tracked_rlock("LatencyHistogram._lock")
         self._counts = np.zeros(_BUCKET_BOUNDS.size + 1, dtype=np.int64)
         self._sum = 0.0
         self._min = float("inf")
@@ -113,7 +113,7 @@ class ServingMetrics:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = tracked_rlock("ServingMetrics._lock")
         self._counters: Dict[str, int] = {
             "requests": 0,
             "nodes_scored": 0,

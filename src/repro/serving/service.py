@@ -39,6 +39,8 @@ segment — a closed service leaves nothing running and nothing in
 from __future__ import annotations
 
 import threading
+
+from repro.analysis.sanitizer import tracked_condition
 import time
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -94,13 +96,13 @@ class DetectionService:
         self._release_pool_on_close = release_pool_on_close
         self._closed = False
         self._stop = threading.Event()
-        self._idle = threading.Condition()
-        self._in_flight = 0  # waves currently executing (guarded by _idle)
+        self._idle = tracked_condition("DetectionService._idle")
+        self._in_flight = 0  # guarded-by: _idle — waves currently executing
         # Request ledger (guarded by _idle): drain() waits for served ==
         # accepted, which also covers the window where a wave has been
         # popped from the batcher queue but not yet marked in-flight.
-        self._accepted = 0
-        self._served = 0
+        self._accepted = 0  # guarded-by: _idle
+        self._served = 0  # guarded-by: _idle
         # An exception raised while applying deltas from the idle loop
         # (should be impossible — deltas are validated at append — but a
         # swallowed failure must not silently serve stale subgraphs).
@@ -387,9 +389,12 @@ class DetectionService:
         shared construction pool is shut down with every shared-memory
         segment unlinked.
         """
-        if self._closed:
-            return
-        self._closed = True
+        # Atomic test-and-set: two threads racing close() must not both
+        # run the teardown below (double batcher.close / session.close).
+        with self._idle:
+            if self._closed:
+                return
+            self._closed = True
         # A never-started dispatcher can't serve the backlog: reject it so
         # no caller blocks forever on a handle nothing will resolve.
         dispatcher_alive = self._thread.is_alive()

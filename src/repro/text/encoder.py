@@ -11,7 +11,7 @@ averaged, never fine-tuned).
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, List, Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 

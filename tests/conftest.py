@@ -102,3 +102,41 @@ def separable_graph() -> HeteroGraph:
 def heterophilic_graph() -> HeteroGraph:
     """Separable features but heterophilic structure (GNN-unfriendly)."""
     return make_separable_graph(homophily=0.2, seed=1)
+
+
+# ----------------------------------------------------------------------
+# Runtime sanitizer wiring (REPRO_SANITIZE=1): every test asserts it added
+# no lock-order inversion, and the whole session asserts no shared-memory
+# segment outlived its owner.  Both fixtures are no-ops without the flag.
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(autouse=True)
+def _sanitize_lock_order():
+    from repro.analysis import sanitizer
+
+    if not sanitizer.enabled():
+        yield
+        return
+    before = len(sanitizer.lock_order_violations())
+    yield
+    new = sanitizer.lock_order_violations()[before:]
+    assert not new, "lock-order inversions detected:\n" + "\n".join(new)
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _sanitize_shm_census():
+    from repro.analysis import sanitizer
+
+    if not sanitizer.enabled():
+        yield
+        return
+    yield
+    # Session fixtures (shared pools, module-scoped services) are torn down
+    # before this session-scoped teardown runs, so anything still tracked
+    # here really leaked.
+    from repro.sampling.biased import shutdown_shared_pool
+
+    shutdown_shared_pool()
+    leaks = sanitizer.shm_leaks()
+    assert not leaks, "shared-memory segments leaked:\n" + "\n".join(leaks)

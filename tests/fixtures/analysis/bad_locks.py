@@ -1,0 +1,28 @@
+"""Known-bad lock discipline: guarded attributes touched without the lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._items = []  # guarded-by: _lock
+        self._total = 0  # guarded-by: _lock
+
+    def add(self, value):
+        # BAD: guarded attributes mutated with no lock held.
+        self._items.append(value)
+        self._total += value
+
+    def snapshot(self):
+        with self._lock:
+            items = list(self._items)
+        # BAD: second read happens after the lock was released.
+        return items, self._total
+
+    def _drain_locked(self):
+        return self._items
+
+    def flush(self):
+        # BAD: lock-held method called without holding the class lock.
+        return self._drain_locked()

@@ -1,0 +1,9 @@
+"""Known-bad oracle coverage: a declared fast path with no pairing test.
+
+The test harness supplies a fake tests corpus that never mentions
+``missing_reference`` — so the annotation below must be flagged.
+"""
+
+
+def fast_mul(matrix, vector):  # oracle: missing_reference
+    return matrix @ vector

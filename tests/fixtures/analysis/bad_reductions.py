@@ -1,0 +1,22 @@
+"""Known-bad order-sensitive reductions.  # repro-lint: order-sensitive
+
+Axis reductions over slices/transposes without pinning the memory layout —
+the PR 4 bit-identity bug class, opted in via the module pragma above.
+"""
+
+import numpy as np
+
+
+def sliced_sum(matrix, mask):
+    # BAD: axis sum over a slice — memory order depends on the producer.
+    return matrix[:, mask].sum(axis=1)
+
+
+def transposed_sum(matrix):
+    # BAD: same reduction through the np.sum spelling on a transpose.
+    return np.sum(matrix.T, axis=0)
+
+
+def reduced_view(matrix, shape):
+    # BAD: np.add.reduce over a reshape view.
+    return np.add.reduce(matrix.reshape(shape), axis=1)

@@ -1,0 +1,23 @@
+"""Known-bad resource joins: threads/pools with no shutdown path."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+_pool = None
+
+
+def warm_pool():
+    # BAD: module global pool with no shutdown() call anywhere.
+    global _pool
+    _pool = ThreadPoolExecutor(max_workers=2)
+    return _pool is not None
+
+
+class Worker:
+    def __init__(self, target):
+        # BAD: thread stored on self with no join() anywhere in the module.
+        self._thread = threading.Thread(target=target, daemon=True)
+        self._thread.start()
+
+    def running(self):
+        return self._thread.is_alive()

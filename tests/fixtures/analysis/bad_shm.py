@@ -1,0 +1,25 @@
+"""Known-bad shm lifecycle: created/attached segments with no release path."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+from repro.graph.adjacency import SharedArray
+
+
+def leak_local(array):
+    # BAD: created into a local that never escapes and is never released.
+    shared = SharedArray.create(array)
+    return array.nbytes
+
+
+def leak_dropped(size):
+    # BAD: created and immediately dropped — nothing can ever release it.
+    SharedMemory(create=True, size=size)
+
+
+class Holder:
+    def __init__(self, handle):
+        # BAD: attached into an attribute no cleanup-named method touches.
+        self._view = handle.attach()
+
+    def rows(self):
+        return self._view.shape[0]

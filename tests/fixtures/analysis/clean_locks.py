@@ -1,0 +1,30 @@
+"""Clean twin of bad_locks: every guarded access is under the lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._items = []  # guarded-by: _lock
+        self._total = 0  # guarded-by: _lock
+
+    def add(self, value):
+        with self._lock:
+            self._items.append(value)
+            self._total += value
+
+    def snapshot(self):
+        with self._lock:
+            return list(self._items), self._total
+
+    def _drain_locked(self):
+        return self._items
+
+    def flush(self):
+        with self._lock:
+            return self._drain_locked()
+
+    def describe(self):
+        """Caller holds ``_lock`` — documented lock-held access is legal."""
+        return len(self._items)

@@ -1,0 +1,9 @@
+"""Clean twin of bad_oracle: the fake tests corpus names both halves.
+
+The test harness supplies a corpus mentioning ``fast_sum`` and
+``reference_sum`` together, satisfying the contract.
+"""
+
+
+def fast_sum(values):  # oracle: reference_sum
+    return sum(values)

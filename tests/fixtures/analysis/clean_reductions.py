@@ -1,0 +1,27 @@
+"""Clean twin of bad_reductions.  # repro-lint: order-sensitive
+
+Every reduction either pins its operand's layout or reduces a plain name
+whose order is not producer-dependent.
+"""
+
+import numpy as np
+
+
+def sliced_sum(matrix, mask):
+    # Pinned: the layout is forced before reducing.
+    return np.ascontiguousarray(matrix[:, mask]).sum(axis=1)
+
+
+def transposed_sum(matrix):
+    return np.sum(np.asfortranarray(matrix.T), axis=0)
+
+
+def plain_sum(matrix):
+    # A bare name is not lexically order-sensitive.
+    return matrix.sum(axis=1)
+
+
+def no_axis(matrix, mask):
+    # Full reductions are order-fixed by pairwise summation over a flat
+    # iteration; only axis= reductions are in scope.
+    return matrix[:, mask].sum()

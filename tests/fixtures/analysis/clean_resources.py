@@ -1,0 +1,43 @@
+"""Clean twin of bad_resources: every thread/pool reaches a join path."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+_pool = None
+
+
+def warm_pool():
+    global _pool
+    _pool = ThreadPoolExecutor(max_workers=2)
+    return _pool is not None
+
+
+def shutdown_pool():
+    global _pool
+    if _pool is not None:
+        _pool.shutdown(wait=True)
+        _pool = None
+
+
+def scoped_map(func, items):
+    # With-managed: the executor shuts itself down on exit.
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        return list(pool.map(func, items))
+
+
+def fan_out(target, n):
+    # The iteration rule: elements are handed to the loop body for joining.
+    threads = [threading.Thread(target=target) for _ in range(n)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class Worker:
+    def __init__(self, target):
+        self._thread = threading.Thread(target=target, daemon=True)
+        self._thread.start()
+
+    def close(self):
+        self._thread.join(timeout=1.0)

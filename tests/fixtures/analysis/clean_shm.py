@@ -1,0 +1,35 @@
+"""Clean twin of bad_shm: every segment has an ownership or release path."""
+
+from contextlib import closing
+from multiprocessing.shared_memory import SharedMemory
+
+from repro.graph.adjacency import SharedArray
+
+
+def transfer_ownership(array):
+    # Returned: the caller owns the release.
+    return SharedArray.create(array)
+
+
+def scoped_segment(size):
+    # With-managed: the context manager is the release path.
+    with closing(SharedMemory(create=True, size=size)) as segment:
+        return segment.size
+
+
+def release_in_place(array):
+    shared = SharedArray.create(array)
+    shared.unlink()
+
+
+class Holder:
+    def __init__(self, handle):
+        self._handle = handle
+        self._view = handle.attach()
+
+    def rows(self):
+        return self._view.shape[0]
+
+    def close(self):
+        self._view.close()
+        self._view = None

@@ -1,0 +1,311 @@
+"""The invariant checker suite: fixtures, baseline ratchet, sanitizer, CLI.
+
+Each static checker is proven both ways against the twin fixtures under
+``tests/fixtures/analysis/``: the ``bad_*`` file must produce the expected
+findings, the ``clean_*`` twin must produce none.  The self-run test then
+locks the suite's verdict on the real tree: ``src/repro`` reports nothing
+outside the committed ``baseline.json``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.findings import (
+    Finding,
+    apply_baseline,
+    default_baseline_path,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.registry import CHECKERS, LintContext, ModuleSource
+from repro.analysis.runner import default_target, run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures" / "analysis"
+
+
+def parse_fixture(name: str) -> ModuleSource:
+    path = FIXTURES / name
+    return ModuleSource.parse(path, f"tests/fixtures/analysis/{name}")
+
+
+def run_checker(checker_id: str, name: str, context: LintContext = None) -> list:
+    context = context or LintContext(root=FIXTURES)
+    return CHECKERS.run(parse_fixture(name), context, only=[checker_id])
+
+
+# ---------------------------------------------------------------------------
+# lock-discipline
+# ---------------------------------------------------------------------------
+
+
+def test_lock_checker_flags_unguarded_access():
+    findings = run_checker("lock-discipline", "bad_locks.py")
+    details = {(f.scope, f.detail) for f in findings}
+    assert ("Counter.add", "_items") in details
+    assert ("Counter.add", "_total") in details
+    # The read AFTER the with-block released the lock.
+    assert ("Counter.snapshot", "_total") in details
+    # Calling a lock-held method without the lock is itself a finding.
+    assert ("Counter.flush", "call:_drain_locked") in details
+
+
+def test_lock_checker_passes_clean_twin():
+    assert run_checker("lock-discipline", "clean_locks.py") == []
+
+
+def test_lock_checker_dedupes_per_method_attr():
+    findings = run_checker("lock-discipline", "bad_locks.py")
+    keys = [f.key for f in findings]
+    assert len(keys) == len(set(keys))
+
+
+# ---------------------------------------------------------------------------
+# shm-lifecycle
+# ---------------------------------------------------------------------------
+
+
+def test_shm_checker_flags_unreleased_segments():
+    findings = run_checker("shm-lifecycle", "bad_shm.py")
+    details = {(f.scope, f.detail) for f in findings}
+    assert ("leak_local", "create:shared") in details
+    assert ("leak_dropped", "create:<dropped>") in details
+    assert ("__init__", "attach:_view") in details
+    assert len(findings) == 3
+
+
+def test_shm_checker_passes_clean_twin():
+    assert run_checker("shm-lifecycle", "clean_shm.py") == []
+
+
+# ---------------------------------------------------------------------------
+# order-sensitive-reduction
+# ---------------------------------------------------------------------------
+
+
+def test_reduction_checker_flags_all_three_spellings():
+    findings = run_checker("order-sensitive-reduction", "bad_reductions.py")
+    scopes = {f.scope for f in findings}
+    assert scopes == {"sliced_sum", "transposed_sum", "reduced_view"}
+
+
+def test_reduction_checker_passes_clean_twin():
+    assert run_checker("order-sensitive-reduction", "clean_reductions.py") == []
+
+
+def test_reduction_checker_requires_gate(tmp_path):
+    # Without the module pragma (and outside GATED_MODULES) the same
+    # pattern is not checked: bit-identity is a *scoped* contract.
+    path = tmp_path / "ungated.py"
+    path.write_text("def f(m, idx):\n    return m[:, idx].sum(axis=1)\n")
+    module = ModuleSource.parse(path, "tmp/ungated.py")
+    context = LintContext(root=tmp_path)
+    assert CHECKERS.run(module, context, only=["order-sensitive-reduction"]) == []
+
+
+# ---------------------------------------------------------------------------
+# oracle-coverage
+# ---------------------------------------------------------------------------
+
+
+def _oracle_context(corpus: str) -> LintContext:
+    return LintContext(
+        root=FIXTURES,
+        test_sources={"tests/test_fake.py": corpus},
+        has_tests=True,
+    )
+
+
+def test_oracle_checker_flags_uncovered_fast_path():
+    context = _oracle_context("def test_fast_sum(): fast_sum reference_sum")
+    findings = run_checker("oracle-coverage", "bad_oracle.py", context)
+    assert [f.detail for f in findings] == ["oracle:missing_reference"]
+
+
+def test_oracle_checker_passes_covered_fast_path():
+    context = _oracle_context("def test_fast_sum(): fast_sum reference_sum")
+    assert run_checker("oracle-coverage", "clean_oracle.py", context) == []
+
+
+def test_oracle_checker_skips_without_tests_dir():
+    context = LintContext(root=FIXTURES, test_sources={}, has_tests=False)
+    assert run_checker("oracle-coverage", "bad_oracle.py", context) == []
+
+
+# ---------------------------------------------------------------------------
+# resource-join
+# ---------------------------------------------------------------------------
+
+
+def test_resource_checker_flags_unjoined_thread_and_pool():
+    findings = run_checker("resource-join", "bad_resources.py")
+    details = {f.detail for f in findings}
+    assert "Thread:_thread" in details
+    assert "ThreadPoolExecutor:_pool" in details
+    assert len(findings) == 2
+
+
+def test_resource_checker_passes_clean_twin():
+    assert run_checker("resource-join", "clean_resources.py") == []
+
+
+# ---------------------------------------------------------------------------
+# baseline ratchet
+# ---------------------------------------------------------------------------
+
+
+def _finding(detail: str = "x") -> Finding:
+    return Finding(
+        checker="lock-discipline",
+        path="src/repro/fake.py",
+        line=10,
+        scope="C.m",
+        detail=detail,
+        message="m",
+        hint="h",
+    )
+
+
+def test_baseline_keys_are_line_number_free():
+    import dataclasses
+
+    a = _finding()
+    b = dataclasses.replace(a, line=99)
+    assert a.key == b.key  # refactors that move lines don't churn the ratchet
+
+
+def test_baseline_round_trip_and_stale_detection(tmp_path):
+    path = tmp_path / "baseline.json"
+    keep, gone = _finding("keep"), _finding("gone")
+    save_baseline(path, [keep, gone])
+    baseline = load_baseline(path)
+    new, baselined, stale = apply_baseline([keep, _finding("new")], baseline)
+    assert [f.detail for f in new] == ["new"]
+    assert [f.detail for f in baselined] == ["keep"]
+    assert stale == [gone.key]
+
+
+def test_committed_baseline_loads():
+    baseline = load_baseline(default_baseline_path())
+    assert baseline  # the ratchet file ships with the package
+
+
+# ---------------------------------------------------------------------------
+# self-run: the real tree must be clean vs the committed baseline
+# ---------------------------------------------------------------------------
+
+
+def test_lint_self_run_reports_nothing_new():
+    report = run_lint([default_target()])
+    rendered = report.render(show_baselined=True)
+    assert report.new == [], f"new findings outside baseline:\n{rendered}"
+    assert report.stale_keys == [], f"stale baseline keys:\n{rendered}"
+    assert report.ok
+    assert set(report.checkers_run) == {
+        "lock-discipline",
+        "shm-lifecycle",
+        "order-sensitive-reduction",
+        "oracle-coverage",
+        "resource-join",
+    }
+    assert report.files_checked > 50
+
+
+def test_lint_cli_exit_codes(tmp_path, capsys):
+    from repro.cli import main
+
+    assert main(["lint", str(default_target())]) == 0
+    capsys.readouterr()
+    # A file with a fresh finding (pragma-gated reduction) must fail.
+    bad = tmp_path / "gated.py"
+    bad.write_text(
+        "# repro-lint: order-sensitive\n"
+        "def f(m, idx):\n"
+        "    return m[:, idx].sum(axis=1)\n"
+    )
+    assert main(["lint", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "order-sensitive-reduction" in out
+
+
+# ---------------------------------------------------------------------------
+# runtime sanitizer
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def sanitize_env(monkeypatch):
+    from repro.analysis import sanitizer
+
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    sanitizer.reset()
+    yield sanitizer
+    sanitizer.reset()
+
+
+def test_sanitizer_disabled_returns_stdlib_objects(monkeypatch):
+    import threading
+
+    from repro.analysis import sanitizer
+
+    monkeypatch.setenv("REPRO_SANITIZE", "0")
+    lock = sanitizer.tracked_rlock("x")
+    assert type(lock) is type(threading.RLock())
+    assert isinstance(sanitizer.tracked_condition("y"), threading.Condition)
+
+
+def test_sanitizer_detects_lock_order_inversion(sanitize_env):
+    a = sanitize_env.tracked_rlock("A")
+    b = sanitize_env.tracked_rlock("B")
+    with a:
+        with b:
+            pass
+    assert sanitize_env.lock_order_violations() == []
+    with b:
+        with a:
+            pass
+    violations = sanitize_env.lock_order_violations()
+    assert len(violations) == 1
+    assert "B -> A -> B" in violations[0]
+
+
+def test_sanitizer_reentrant_acquire_is_not_an_edge(sanitize_env):
+    a = sanitize_env.tracked_rlock("A")
+    with a:
+        with a:  # re-entrant: no self-edge, no violation
+            pass
+    assert sanitize_env.lock_order_violations() == []
+
+
+def test_sanitizer_condition_wait_roundtrip(sanitize_env):
+    import threading
+
+    condition = sanitize_env.tracked_condition("C")
+    released = []
+
+    def waiter():
+        with condition:
+            condition.wait(timeout=5.0)
+            released.append(True)
+
+    thread = threading.Thread(target=waiter)
+    thread.start()
+    import time
+
+    for _ in range(100):
+        with condition:
+            condition.notify_all()
+        if released:
+            break
+        time.sleep(0.01)
+    thread.join(timeout=5.0)
+    assert released == [True]
+    assert sanitize_env.lock_order_violations() == []
+
+
+def test_sanitizer_shm_census(sanitize_env):
+    sanitize_env.note_segment_created("repro_test_segment")
+    leaks = sanitize_env.shm_leaks()
+    assert len(leaks) == 1 and "repro_test_segment" in leaks[0]
+    sanitize_env.note_segment_unlinked("repro_test_segment")
+    assert sanitize_env.shm_leaks() == []

@@ -10,7 +10,6 @@ import pytest
 from repro import api
 from repro.core import BSG4Bot, BSG4BotConfig
 from repro.core.serialization import ArtifactError, MANIFEST_NAME
-from repro.sampling import SubgraphStore
 from tests.conftest import make_separable_graph
 
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core import BSG4Bot
@@ -14,7 +13,7 @@ from repro.experiments.runner import (
     build_benchmark,
     make_detector,
 )
-from repro.experiments.settings import MEDIUM, SMALL, ExperimentScale
+from repro.experiments.settings import MEDIUM, SMALL
 
 
 class TestScales:

@@ -7,7 +7,6 @@ qualitative shape each paper artifact claims, where it is cheap to do so.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.experiments import EXPERIMENTS, run_experiment

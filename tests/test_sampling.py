@@ -8,12 +8,10 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.preclassifier import PretrainedClassifier
-from repro.graph.homophily import node_homophily_ratios
 from repro.sampling import (
     BiasedSubgraphBuilder,
     PPRSubgraphBuilder,
     Subgraph,
-    SubgraphStore,
     collate_subgraphs,
     greedy_partition,
     sample_neighbor_adjacency,
@@ -93,7 +91,6 @@ class TestBiasedBuilder:
 
     def test_original_edges_preserved(self, toy_graph, builder):
         subgraph = builder.build(5)
-        local = {int(original): i for i, original in enumerate(subgraph.nodes)}
         for relation, (src, dst) in subgraph.relation_edges.items():
             store = toy_graph.relation(relation)
             original_pairs = set(zip(store.src.tolist(), store.dst.tolist()))
