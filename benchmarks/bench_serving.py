@@ -8,6 +8,9 @@ throughput at the largest client count must be at least
 path, with every coalesced wave replaying bit-identically through serial
 scoring and ``DetectionService.close()`` leaving no dispatcher thread,
 shared pool, or shared-memory segment behind (asserted inside the core run).
+The capture-and-replay inference engine gets its own floor: steady-state
+per-wave model time over the ladder's recorded waves must beat the autograd
+eager forward by ``REPRO_REPLAY_MIN_SPEEDUP`` (default 2.0), bit-identically.
 
 Not collected by pytest (no ``test_`` prefix); run it directly::
 
@@ -42,6 +45,7 @@ def main() -> None:
     args = parser.parse_args()
 
     min_speedup = float(os.environ.get("REPRO_SERVE_BENCH_MIN_SPEEDUP", "3.0"))
+    min_model_speedup = float(os.environ.get("REPRO_REPLAY_MIN_SPEEDUP", "2.0"))
     result = run_serving_benchmark(
         num_users=args.users,
         clients_ladder=args.clients,
@@ -50,6 +54,7 @@ def main() -> None:
         max_wait_ms=args.max_wait_ms,
         seed=args.seed,
         min_speedup=min_speedup,
+        min_model_speedup=min_model_speedup,
     )
     args.output.parent.mkdir(parents=True, exist_ok=True)
     with open(args.output, "w") as handle:

@@ -39,9 +39,12 @@ from pathlib import Path
 import numpy as np
 import scipy.sparse as sp
 
+from repro.core.model import BSG4BotModel
 from repro.datasets import load_benchmark
 from repro.ppr import multi_source_ppr
 from repro.sampling import BiasedSubgraphBuilder, collate_many, collate_subgraphs
+from repro.tensor import softmax
+from repro.tensor.replay import ReplayEngine
 
 RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_perfgate.json"
 THRESHOLDS_PATH = Path(__file__).parent / "thresholds.json"
@@ -124,6 +127,54 @@ def bench_ppr() -> dict:
     }
 
 
+def bench_model_forward(graph, store) -> dict:
+    """Capture-and-replay inference vs the autograd eager forward.
+
+    A random-initialized model (training time has no place in a perf gate)
+    scored over a serving-shaped wave mix — mostly small waves with one
+    batch-size-bound wave — through ``repro.tensor.replay``.  Bit-identity
+    between the replayed and eager probabilities is asserted on every wave,
+    cold and steady, so a schedule that got faster by diverging fails CI.
+    """
+    model = BSG4BotModel(
+        graph.num_features,
+        hidden_dim=8,
+        relation_names=graph.relation_names,
+        rng=np.random.default_rng(3),
+    )
+    rng = np.random.default_rng(11)
+    batches = [
+        store.collate(rng.integers(0, graph.num_nodes, size=size))
+        for size in (1, 8, 8, 32)
+    ]
+
+    def eager_pass():
+        model.eval()
+        return [softmax(model(batch), axis=-1).numpy() for batch in batches]
+
+    engine = ReplayEngine()
+
+    def replay_pass():
+        return [engine.forward_proba(model, batch) for batch in batches]
+
+    reference = eager_pass()
+    for left, right in zip(reference, replay_pass()):  # traces cold buckets
+        assert np.array_equal(left, right), "replayed forward diverged from eager"
+    for left, right in zip(reference, replay_pass()):  # steady state
+        assert np.array_equal(left, right), "steady-state replay diverged from eager"
+    assert not engine.disabled, "replay engine disabled itself during the gate"
+    assert engine.consume_stats()["replay_misses"] <= len(batches), "replay cache thrashed"
+
+    eager_s, _ = _best_of(5, eager_pass)
+    replay_s, _ = _best_of(5, replay_pass)
+    count = len(batches)
+    return {
+        "model_eager_wave_s": eager_s / count,
+        "model_replay_wave_s": replay_s / count,
+        "model_replay_speedup": eager_s / replay_s,
+    }
+
+
 def bench_build(graph):
     """Timed full-store build; returns (metrics, store) for reuse downstream."""
     builder = BiasedSubgraphBuilder(graph, graph.features, k=SUBGRAPH_K)
@@ -139,6 +190,7 @@ def run(output_path: Path = RESULTS_PATH) -> dict:
     metrics = {
         **build_metrics,
         **bench_collation(graph, store),
+        **bench_model_forward(graph, store),
         **bench_ppr(),
     }
     result = {

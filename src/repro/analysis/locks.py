@@ -37,7 +37,15 @@ GUARDED_CLASSES: Dict[str, Tuple[str, Tuple[str, ...]]] = {
     "SubgraphStore": ("_lock", ("_store", "_packs", "_batch_cache", "_center_index")),
     "DetectionSession": (
         "_lock",
-        ("_closed", "_fallback_probabilities", "_invalidate_takes_relations"),
+        (
+            "_closed",
+            "_fallback_probabilities",
+            "_invalidate_takes_relations",
+            "_replay_engine",
+            "_subset_takes_engine",
+            "_replay_stats",
+            "_use_replay",
+        ),
     ),
     "MicroBatcher": ("_condition", ("_queue", "_closed")),
     "DeltaLog": ("_lock", ("_pending", "_next_seq", "_applied_seq", "_closed")),

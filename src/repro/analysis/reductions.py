@@ -33,6 +33,7 @@ from repro.analysis.registry import LintContext, ModuleSource, register_checker
 GATED_MODULES: Tuple[str, ...] = (
     "repro/ppr/batch.py",
     "repro/sampling/subgraph.py",
+    "repro/tensor/replay.py",
 )
 
 #: Module pragma that opts any file into this checker (fixtures use it).

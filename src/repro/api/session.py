@@ -26,6 +26,7 @@ needed:
 from __future__ import annotations
 
 import inspect
+import os
 from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 import numpy as np
@@ -34,6 +35,7 @@ from repro.analysis.sanitizer import tracked_rlock
 from repro.core.base import BotDetector
 from repro.graph import HeteroGraph
 from repro.sampling.biased import shutdown_shared_pool
+from repro.tensor.replay import ReplayEngine
 
 
 def validate_edge_additions(
@@ -106,7 +108,12 @@ class DetectionSession:
     surviving it), see :class:`repro.serving.DetectionService`.
     """
 
-    def __init__(self, detector: BotDetector, graph: HeteroGraph) -> None:
+    def __init__(
+        self,
+        detector: BotDetector,
+        graph: HeteroGraph,
+        use_replay: Optional[bool] = None,
+    ) -> None:
         # BSG4Bot and the GNN baselines keep their trained net in ``model``;
         # the feature-only baselines in ``classifier``.  Either being set
         # means fit/load has happened.
@@ -136,6 +143,26 @@ class DetectionSession:
         # Cached full predict_proba for detectors without a subset path,
         # dropped whenever update_graph mutates anything.
         self._fallback_probabilities: Optional[np.ndarray] = None
+        # Capture-and-replay inference engine (repro.tensor.replay).  One
+        # engine per session — its replay buffers are mutable and must never
+        # be shared across sessions; every use happens under self._lock.
+        # ``use_replay`` defaults to on, the REPRO_REPLAY=0 environment
+        # variable (or use_replay=False) keeps the engine in its
+        # always-eager mode, which still times the model forward so replay
+        # and eager deployments report comparable model_time metrics.
+        if use_replay is None:
+            use_replay = os.environ.get("REPRO_REPLAY", "1") != "0"
+        self._use_replay = bool(use_replay)
+        self._replay_engine = None
+        # Whether detector.predict_proba_nodes accepts the engine kwarg —
+        # resolved once, same pattern as _invalidate_takes_relations.
+        self._subset_takes_engine: Optional[bool] = None
+        self._replay_stats: Dict[str, float] = {
+            "model_s": 0.0,
+            "replay_hits": 0,
+            "replay_misses": 0,
+            "replay_evictions": 0,
+        }
         current = getattr(detector, "graph", None)
         if current is not graph:
             # Point the detector at this session's graph.  BSG4Bot resets its
@@ -190,12 +217,52 @@ class DetectionSession:
                 return np.zeros((0, 2))
             subset = getattr(self.detector, "predict_proba_nodes", None)
             if subset is not None:
-                return subset(nodes)
+                engine = self._resolve_engine_locked(subset)
+                if engine is None:
+                    return subset(nodes)
+                probabilities = subset(nodes, engine=engine)
+                stats = engine.consume_stats()
+                for key, value in stats.items():
+                    self._replay_stats[key] += value
+                return probabilities
             # Full-graph detectors have no subset path; compute the whole
             # probability matrix once and serve slices until the graph changes.
             if self._fallback_probabilities is None:
                 self._fallback_probabilities = self.detector.predict_proba(self.graph)
             return self._fallback_probabilities[nodes]
+
+    def _resolve_engine_locked(self, subset) -> Optional["ReplayEngine"]:
+        """The session's replay engine, created lazily (lock held by caller).
+
+        Returns ``None`` when the detector's subset path cannot take an
+        engine.  With replay disabled the engine still exists but stays in
+        its always-eager mode (it then only times the forward pass).
+        """
+        if self._subset_takes_engine is None:
+            self._subset_takes_engine = "engine" in inspect.signature(subset).parameters
+        if not self._subset_takes_engine:
+            return None
+        if self._replay_engine is None:
+            self._replay_engine = ReplayEngine(capture=self._use_replay)
+        return self._replay_engine
+
+    def consume_replay_stats(self) -> Dict[str, float]:
+        """Return and reset model-forward counters since the last call.
+
+        Keys: ``model_s`` (seconds spent in the model forward, replayed or
+        eager), ``replay_hits`` / ``replay_misses`` / ``replay_evictions``.
+        The serving wave loop drains this after each wave to feed
+        ``ServingMetrics``.
+        """
+        with self._lock:
+            stats = self._replay_stats
+            self._replay_stats = {
+                "model_s": 0.0,
+                "replay_hits": 0,
+                "replay_misses": 0,
+                "replay_evictions": 0,
+            }
+            return stats
 
     def predict_nodes(self, node_ids: Iterable[int]) -> np.ndarray:
         """Hard labels (0 = human, 1 = bot) for ``node_ids``."""

@@ -105,7 +105,14 @@ class BSG4BotModel(Module):
         return fused
 
     def forward(self, batch: SubgraphBatch) -> Tensor:
-        """Logits for the start (center) node of every subgraph in the batch."""
+        """Logits for the start (center) node of every subgraph in the batch.
+
+        Note: the serving path may execute this forward through the
+        capture-and-replay engine (``repro.tensor.replay``), which runs raw
+        kernels instead of these ops; ``last_relation_weights`` is a debug
+        side effect of the *eager* pass only and is not refreshed by a
+        replayed forward.
+        """
         fused = self.node_embeddings(batch)
         centers = fused[batch.center_positions]
         return self.classifier(centers)

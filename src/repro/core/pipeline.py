@@ -283,20 +283,22 @@ class BSG4Bot(BotDetector):
     # ------------------------------------------------------------------
     # Inference
     # ------------------------------------------------------------------
-    def predict_proba_nodes(self, nodes: np.ndarray) -> np.ndarray:
+    def predict_proba_nodes(self, nodes: np.ndarray, engine=None) -> np.ndarray:
         """Class probabilities for just ``nodes`` of the attached graph.
 
         This is the serve-many scoring path: only the requested centers'
         subgraphs are built (missing ones are topped up through the store
         cache), and batches run through the cross-epoch collated-batch LRU.
-        Rows are aligned with the requested ``nodes`` order.
+        Rows are aligned with the requested ``nodes`` order.  ``engine``
+        optionally routes batches through a per-session
+        ``repro.tensor.replay.ReplayEngine`` (bit-identical fast path).
         """
         if self.model is None or self.graph is None:
             raise RuntimeError("BSG4Bot must be fitted before predicting")
         nodes = np.asarray(nodes, dtype=np.int64)
         self._ensure_subgraphs(nodes)
         return predict_subgraph_proba(
-            self.model, self.store, nodes, self.config.batch_size
+            self.model, self.store, nodes, self.config.batch_size, engine=engine
         )
 
     def predict_proba(self, graph: HeteroGraph) -> np.ndarray:

@@ -109,6 +109,80 @@ def _workload(
     ]
 
 
+def _best_of(repeats: int, func: Callable[[], object]) -> float:
+    """Best-of-N CPU time (stable on shared benchmark runners)."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.process_time()
+        func()
+        best = min(best, time.process_time() - started)
+    return best
+
+
+def _model_forward_comparison(
+    detector, waves: List[np.ndarray], repeats: int = 5
+) -> Dict[str, object]:
+    """Per-wave model-forward time over the exact waves the service ran.
+
+    Three paths over identical collated batches:
+
+    * **eager** — the plain autograd forward (``softmax(model(batch))``),
+      the path serving executed before the inference engine existed;
+    * **inference** — the eager fallback under ``inference_mode`` (no
+      autograd graph, still per-op Tensor dispatch);
+    * **replay** — the capture-and-replay engine in steady state (every
+      shape bucket already traced and compiled).
+
+    All three must agree **bit-identically** on every wave; the timings are
+    best-of-N CPU time for a full pass over the wave list.
+    """
+    from repro.tensor import softmax
+    from repro.tensor.replay import ReplayEngine, eager_forward_proba
+
+    model = detector.model
+    store = detector.store
+    batches = [store.collate(np.asarray(nodes, dtype=np.int64)) for nodes in waves]
+
+    def eager_pass():
+        model.eval()
+        return [softmax(model(batch), axis=-1).numpy() for batch in batches]
+
+    def inference_pass():
+        return [eager_forward_proba(model, batch) for batch in batches]
+
+    engine = ReplayEngine()
+
+    def replay_pass():
+        return [engine.forward_proba(model, batch) for batch in batches]
+
+    reference = eager_pass()
+    for left, right in zip(reference, inference_pass()):
+        assert np.array_equal(left, right), "inference-mode forward diverged from eager"
+    for left, right in zip(reference, replay_pass()):  # traces cold buckets
+        assert np.array_equal(left, right), "replayed forward diverged from eager"
+    cold = engine.consume_stats()
+    for left, right in zip(reference, replay_pass()):  # steady state
+        assert np.array_equal(left, right), "steady-state replay diverged from eager"
+    steady = engine.consume_stats()
+    assert not engine.disabled, "replay engine disabled itself during the benchmark"
+    assert steady["replay_misses"] == 0, "steady-state pass still missed buckets"
+
+    eager_s = _best_of(repeats, eager_pass)
+    inference_s = _best_of(repeats, inference_pass)
+    replay_s = _best_of(repeats, replay_pass)
+    count = len(batches)
+    return {
+        "waves": count,
+        "model_eager_wave_s": eager_s / count,
+        "model_inference_wave_s": inference_s / count,
+        "model_replay_wave_s": replay_s / count,
+        "model_replay_speedup": eager_s / replay_s,
+        "model_inference_speedup": eager_s / inference_s,
+        "replay_misses_cold": cold["replay_misses"],
+        "replay_hits_steady": steady["replay_hits"],
+    }
+
+
 def run_serving_benchmark(
     num_users: int = 200,
     clients_ladder: Sequence[int] = (1, 8, 32),
@@ -118,6 +192,7 @@ def run_serving_benchmark(
     max_wait_ms: float = 2.0,
     seed: int = 0,
     min_speedup: Optional[float] = None,
+    min_model_speedup: Optional[float] = None,
 ) -> Dict[str, object]:
     """Run the full serving benchmark; returns the JSON-ready result dict.
 
@@ -126,6 +201,9 @@ def run_serving_benchmark(
     at least that multiple of the naive per-request path, else
     ``AssertionError`` — that is how the CI perf job keeps the serving win
     honest.  The wave bit-identity replay always asserts.
+    ``min_model_speedup`` gates the capture-and-replay engine the same way:
+    the steady-state per-wave model time over the ladder's recorded waves
+    must beat the autograd eager forward by at least that factor.
     """
     clients_ladder = sorted(set(int(count) for count in clients_ladder))
     benchmark = load_benchmark("mgtab", num_users=num_users, tweets_per_user=8, seed=seed)
@@ -184,6 +262,7 @@ def run_serving_benchmark(
     # ---- micro-batched ladder over offered load ----
     ladder: List[Dict[str, object]] = []
     bit_identical_waves = 0
+    recorded_waves: List[np.ndarray] = []
     for clients in clients_ladder:
         record = clients == max_clients
         service = DetectionService(
@@ -191,7 +270,7 @@ def run_serving_benchmark(
             graph,
             max_batch_size=max_batch_size,
             max_wait_ms=max_wait_ms,
-            record_waves=record,
+            record_waves=True,
             release_pool_on_close=False,
         )
         try:
@@ -203,8 +282,14 @@ def run_serving_benchmark(
                 requests_per_wave=snapshot["requests_per_wave"],
                 waves=snapshot["waves"],
                 queue_wait_p99_ms=snapshot["queue_wait"]["p99_s"] * 1000.0,
+                model_time=snapshot["model_time"],
+                replay_hits=snapshot["replay_hits"],
+                replay_misses=snapshot["replay_misses"],
             )
             ladder.append(entry)
+            recorded_waves.extend(
+                wave_nodes for wave_nodes, _, _ in service.wave_log
+            )
             if record:
                 # The serving bit-identity contract: every coalesced wave
                 # replays exactly through a serial score_nodes call.
@@ -235,6 +320,11 @@ def run_serving_benchmark(
     assert biased._shared_pool is None, "shared pool survived shutdown"
     assert not biased._shared_payload_registry, "shared segments survived shutdown"
 
+    # ---- per-wave model time: eager vs inference-mode vs replay ----
+    # Measured over the exact waves the whole ladder executed (1-, 8- and
+    # 32-client occupancies), in steady state, bit-identity asserted.
+    model_forward = _model_forward_comparison(detector, recorded_waves)
+
     batched_at_max = ladder[-1]
     speedup = batched_at_max["throughput_rps"] / naive["throughput_rps"]
     result: Dict[str, object] = {
@@ -253,11 +343,18 @@ def run_serving_benchmark(
         "batched_ladder": ladder,
         "speedup_at_max_clients": speedup,
         "bit_identical_waves": bit_identical_waves,
+        "model_forward": model_forward,
     }
     if min_speedup is not None:
         assert speedup >= min_speedup, (
             f"micro-batched throughput at {max_clients} clients is only "
             f"{speedup:.2f}x the naive path (required >= {min_speedup:g}x)"
+        )
+    if min_model_speedup is not None:
+        model_speedup = model_forward["model_replay_speedup"]
+        assert model_speedup >= min_model_speedup, (
+            f"replayed model forward is only {model_speedup:.2f}x the eager "
+            f"path per wave (required >= {min_model_speedup:g}x)"
         )
     return result
 
@@ -288,4 +385,13 @@ def format_result(result: Dict[str, object]) -> str:
         f"{result['speedup_at_max_clients']:.2f}x "
         f"({result['bit_identical_waves']} waves replayed bit-identically)"
     )
+    forward = result.get("model_forward")
+    if forward:
+        lines.append(
+            f"model forward over {forward['waves']} waves: "
+            f"eager {forward['model_eager_wave_s'] * 1e3:.3f}ms/wave, "
+            f"inference {forward['model_inference_wave_s'] * 1e3:.3f}ms/wave, "
+            f"replay {forward['model_replay_wave_s'] * 1e3:.3f}ms/wave "
+            f"({forward['model_replay_speedup']:.2f}x vs eager)"
+        )
     return "\n".join(lines)

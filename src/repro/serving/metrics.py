@@ -106,10 +106,16 @@ class ServingMetrics:
     ``deltas_applied``      graph deltas applied through ``update_graph``,
     ``subgraphs_invalidated`` stored subgraphs dropped by applied deltas,
     ``errors``              waves that raised (the error is re-raised to
-                            every caller of the wave).
+                            every caller of the wave),
+    ``replay_hits``         wave model forwards served by a compiled replay
+                            schedule (``repro.tensor.replay``),
+    ``replay_misses``       wave model forwards that ran eagerly and traced
+                            a new schedule (cold shape bucket).
 
-    Histograms: ``request_latency`` (submit → result available) and
-    ``queue_wait`` (submit → wave execution start).
+    Histograms: ``request_latency`` (submit → result available),
+    ``queue_wait`` (submit → wave execution start), and ``model_time``
+    (per-wave seconds inside the model forward — replayed or eager — the
+    quantity the capture-and-replay engine exists to shrink).
     """
 
     def __init__(self) -> None:
@@ -123,9 +129,12 @@ class ServingMetrics:
             "deltas_applied": 0,
             "subgraphs_invalidated": 0,
             "errors": 0,
+            "replay_hits": 0,
+            "replay_misses": 0,
         }
         self.request_latency = LatencyHistogram()
         self.queue_wait = LatencyHistogram()
+        self.model_time = LatencyHistogram()
 
     def increment(self, name: str, amount: int = 1) -> None:
         with self._lock:
@@ -152,6 +161,7 @@ class ServingMetrics:
             "requests_per_wave": counters["requests"] / waves if waves else 0.0,
             "request_latency": self.request_latency.snapshot(),
             "queue_wait": self.queue_wait.snapshot(),
+            "model_time": self.model_time.snapshot(),
         }
         if extra:
             result.update(extra)

@@ -83,8 +83,11 @@ class DetectionService:
         release_pool_on_close: bool = True,
         record_waves: bool = False,
         autostart: bool = True,
+        use_replay: Optional[bool] = None,
     ) -> None:
-        self.session = DetectionSession(detector, graph)
+        # ``use_replay`` passes through to the session's capture-and-replay
+        # inference engine (None = the REPRO_REPLAY environment default).
+        self.session = DetectionSession(detector, graph, use_replay=use_replay)
         self.detector = detector
         self.graph = graph
         self.delta_log = DeltaLog(graph)
@@ -175,6 +178,9 @@ class DetectionService:
             else:
                 nodes = range(min(self.batcher.max_batch_size, self.graph.num_nodes))
         self.session.score_nodes(nodes)
+        # Warmup's model forward must not masquerade as the first wave's
+        # model time — drain the session counters into the void.
+        self.session.consume_replay_stats()
         return time.perf_counter() - start
 
     # ------------------------------------------------------------------
@@ -325,6 +331,7 @@ class DetectionService:
                 else wave[0].nodes
             )
             probabilities = self.session.score_nodes(nodes)
+            replay_stats = self.session.consume_replay_stats()
         except BaseException as error:  # noqa: BLE001 — forwarded to callers
             self.metrics.increment("errors")
             for request in wave:
@@ -345,6 +352,15 @@ class DetectionService:
             self.metrics.queue_wait.observe(request.queue_wait_s)
         self.metrics.increment("waves")
         self.metrics.increment("wave_nodes", int(nodes.size))
+        # model_s is 0.0 for detectors whose subset path has no engine hook
+        # (full-graph baselines) — no model_time sample then, rather than a
+        # stream of zeros.
+        if replay_stats["model_s"] > 0.0:
+            self.metrics.model_time.observe(replay_stats["model_s"])
+        if replay_stats["replay_hits"]:
+            self.metrics.increment("replay_hits", int(replay_stats["replay_hits"]))
+        if replay_stats["replay_misses"]:
+            self.metrics.increment("replay_misses", int(replay_stats["replay_misses"]))
 
     # ------------------------------------------------------------------
     # Lifecycle

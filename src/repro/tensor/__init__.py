@@ -5,11 +5,19 @@ This package stands in for PyTorch in the reproduction: it provides a
 operations required by the paper's models (dense and sparse matrix products,
 activations, softmax/attention primitives, gather/scatter for message
 passing), weight initialisers, and first-order optimisers.
+
+Two inference fast paths live alongside the autograd engine:
+:func:`inference_mode` (ops skip graph construction entirely) and
+:mod:`repro.tensor.replay` (capture the forward once per shape bucket,
+replay it as a fused, preallocated raw-NumPy kernel schedule — bit-identical
+to eager by contract).
 """
 
 from repro.tensor.tensor import (
     Tensor,
     concat,
+    inference_mode,
+    is_inference,
     gather_rows,
     leaky_relu,
     log_softmax,
@@ -26,7 +34,12 @@ from repro.tensor.tensor import (
     zeros,
 )
 from repro.tensor.init import glorot_uniform, he_uniform, zeros_init
-from repro.tensor.losses import binary_cross_entropy, cross_entropy, l2_penalty
+from repro.tensor.losses import (
+    binary_cross_entropy,
+    cross_entropy,
+    fused_cross_entropy,
+    l2_penalty,
+)
 from repro.tensor.module import Module, Parameter
 from repro.tensor.optim import SGD, Adam
 
@@ -49,7 +62,10 @@ __all__ = [
     "log_softmax",
     "cross_entropy",
     "binary_cross_entropy",
+    "fused_cross_entropy",
     "l2_penalty",
+    "inference_mode",
+    "is_inference",
     "glorot_uniform",
     "he_uniform",
     "zeros_init",

@@ -103,9 +103,15 @@ class Module:
                 self._set_mode_on_value(item, training)
 
     # -- gradient helpers ----------------------------------------------------
-    def zero_grad(self) -> None:
+    def zero_grad(self, set_to_none: bool = True) -> None:
+        """Clear every parameter gradient.
+
+        ``set_to_none=False`` zeroes the existing buffers in place so the
+        next backward accumulates into preallocated memory (the training
+        loop's steady state) instead of allocating per step.
+        """
         for param in self.parameters():
-            param.zero_grad()
+            param.zero_grad(set_to_none=set_to_none)
 
     def num_parameters(self) -> int:
         return sum(p.size for p in self.parameters())

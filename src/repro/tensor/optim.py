@@ -17,9 +17,9 @@ class Optimizer:
         if not self.parameters:
             raise ValueError("optimizer received no parameters")
 
-    def zero_grad(self) -> None:
+    def zero_grad(self, set_to_none: bool = True) -> None:
         for param in self.parameters:
-            param.zero_grad()
+            param.zero_grad(set_to_none=set_to_none)
 
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError

@@ -8,10 +8,22 @@ reverse order.
 
 Only the operations needed by the reproduction are implemented, but each is
 implemented with full broadcasting support so the layer code reads naturally.
+
+Serving never calls ``backward``, so every op carries a second, *light* path
+gated by :func:`inference_mode`: the forward value is computed by exactly the
+same NumPy expressions (results are bit-identical to the autograd path), but
+no ``_backward`` closure, parent tuple, or backward-only auxiliary array is
+built.  While a capture tape is installed (see :mod:`repro.tensor.replay`)
+the light path additionally records each op's semantic identity so the
+traced forward can be compiled into a replayable kernel schedule.  Both the
+inference flag and the tape are thread-local: tracing in one session never
+observes another thread's ops.
 """
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
@@ -42,6 +54,58 @@ def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
         if size == 1 and grad.shape[axis] != 1:
             grad = grad.sum(axis=axis, keepdims=True)
     return grad.reshape(shape)
+
+
+class _EngineState(threading.local):
+    """Per-thread engine mode: inference nesting depth and the active tape."""
+
+    inference = 0
+    tape = None
+
+
+_STATE = _EngineState()
+
+
+@contextmanager
+def inference_mode():
+    """Context under which ops skip all autograd bookkeeping.
+
+    Forward values are bit-identical to the normal path (the same NumPy
+    expressions run), but the returned tensors carry no ``_backward``
+    closures or parent links, so no graph is retained and backward-only
+    auxiliaries (masks, boundaries, cached probabilities) are never
+    materialized.  Nestable and thread-local.
+    """
+    _STATE.inference += 1
+    try:
+        yield
+    finally:
+        _STATE.inference -= 1
+
+
+def is_inference() -> bool:
+    """Whether the calling thread is currently inside :func:`inference_mode`."""
+    return _STATE.inference > 0
+
+
+def _install_tape(tape):
+    """Install a capture tape for the calling thread; returns the old one."""
+    previous = _STATE.tape
+    _STATE.tape = tape
+    return previous
+
+
+def _restore_tape(previous) -> None:
+    _STATE.tape = previous
+
+
+def _emit(op: str, out_data: np.ndarray, inputs: tuple, meta: Optional[dict] = None) -> "Tensor":
+    """Wrap a light-path result, recording the op on the active tape."""
+    out = Tensor(out_data)
+    tape = _STATE.tape
+    if tape is not None:
+        tape.record(op, out, inputs, meta)
+    return out
 
 
 class Tensor:
@@ -91,12 +155,28 @@ class Tensor:
     def item(self) -> float:
         return float(self.data.reshape(-1)[0])
 
-    def detach(self) -> "Tensor":
-        """Return a tensor sharing data but cut off from the graph."""
-        return Tensor(self.data, requires_grad=False)
+    def detach(self, copy: bool = False) -> "Tensor":
+        """Return a tensor cut off from the graph.
 
-    def zero_grad(self) -> None:
-        self.grad = None
+        By default the result *shares storage* with this tensor (mutating
+        one's ``data`` in place is visible through the other) — the cheap
+        choice for read-only consumers such as metric code.  Pass
+        ``copy=True`` for an independent buffer that later in-place writes
+        cannot reach.
+        """
+        return Tensor(self.data.copy() if copy else self.data, requires_grad=False)
+
+    def zero_grad(self, set_to_none: bool = True) -> None:
+        """Clear the gradient.
+
+        ``set_to_none=False`` keeps the allocated gradient buffer and zeroes
+        it in place, so the next ``backward`` accumulates into preallocated
+        memory instead of allocating a fresh array per step.
+        """
+        if set_to_none:
+            self.grad = None
+        elif self.grad is not None:
+            self.grad.fill(0.0)
 
     # ------------------------------------------------------------------
     # Autograd machinery
@@ -104,6 +184,8 @@ class Tensor:
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
             self.grad = grad.copy()
+        elif self.grad.shape == grad.shape:
+            np.add(self.grad, grad, out=self.grad)
         else:
             self.grad = self.grad + grad
 
@@ -136,6 +218,11 @@ class Tensor:
         visit(self)
 
         grads: dict[int, np.ndarray] = {id(self): grad}
+        # Gradients entering a dict slot are arrays produced by backward
+        # closures and may be views of (or aliased with) arrays delivered to
+        # other parents, so the first extra contribution allocates; from the
+        # second on the slot is privately owned and accumulates in place.
+        owned: set[int] = set()
         for node in reversed(order):
             node_grad = grads.pop(id(node), None)
             if node_grad is None:
@@ -148,18 +235,24 @@ class Tensor:
                 if parent_grad is None:
                     continue
                 key = id(parent)
-                if key in grads:
-                    grads[key] = grads[key] + parent_grad
-                else:
+                if key not in grads:
                     grads[key] = parent_grad
+                elif key in owned and grads[key].shape == parent_grad.shape:
+                    np.add(grads[key], parent_grad, out=grads[key])
+                else:
+                    grads[key] = grads[key] + parent_grad
+                    owned.add(key)
 
     # ------------------------------------------------------------------
     # Arithmetic operators
     # ------------------------------------------------------------------
     def __add__(self, other: ArrayLike) -> "Tensor":
         other_t = _ensure_tensor(other)
+        out_data = self.data + other_t.data
+        if _STATE.inference:
+            return _emit("add", out_data, (self, other_t))
         out = Tensor(
-            self.data + other_t.data,
+            out_data,
             requires_grad=self.requires_grad or other_t.requires_grad,
             _parents=(self, other_t),
         )
@@ -176,7 +269,10 @@ class Tensor:
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
-        out = Tensor(-self.data, requires_grad=self.requires_grad, _parents=(self,))
+        out_data = -self.data
+        if _STATE.inference:
+            return _emit("neg", out_data, (self,))
+        out = Tensor(out_data, requires_grad=self.requires_grad, _parents=(self,))
         out._backward = lambda grad: ((self, -grad),)
         return out
 
@@ -188,8 +284,11 @@ class Tensor:
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
         other_t = _ensure_tensor(other)
+        out_data = self.data * other_t.data
+        if _STATE.inference:
+            return _emit("mul", out_data, (self, other_t))
         out = Tensor(
-            self.data * other_t.data,
+            out_data,
             requires_grad=self.requires_grad or other_t.requires_grad,
             _parents=(self, other_t),
         )
@@ -207,8 +306,11 @@ class Tensor:
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
         other_t = _ensure_tensor(other)
+        out_data = self.data / other_t.data
+        if _STATE.inference:
+            return _emit("div", out_data, (self, other_t))
         out = Tensor(
-            self.data / other_t.data,
+            out_data,
             requires_grad=self.requires_grad or other_t.requires_grad,
             _parents=(self, other_t),
         )
@@ -229,9 +331,10 @@ class Tensor:
     def __pow__(self, exponent: float) -> "Tensor":
         if not np.isscalar(exponent):
             raise TypeError("only scalar exponents are supported")
-        out = Tensor(
-            self.data**exponent, requires_grad=self.requires_grad, _parents=(self,)
-        )
+        out_data = self.data**exponent
+        if _STATE.inference:
+            return _emit("pow", out_data, (self,), {"exponent": exponent})
+        out = Tensor(out_data, requires_grad=self.requires_grad, _parents=(self,))
 
         def backward(grad: np.ndarray):
             return ((self, grad * exponent * self.data ** (exponent - 1)),)
@@ -249,13 +352,16 @@ class Tensor:
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
         original = self.shape
-        out = Tensor(
-            self.data.reshape(shape), requires_grad=self.requires_grad, _parents=(self,)
-        )
+        out_data = self.data.reshape(shape)
+        if _STATE.inference:
+            return _emit("reshape", out_data, (self,), {"shape": tuple(shape)})
+        out = Tensor(out_data, requires_grad=self.requires_grad, _parents=(self,))
         out._backward = lambda grad: ((self, grad.reshape(original)),)
         return out
 
     def transpose(self) -> "Tensor":
+        if _STATE.inference:
+            return _emit("transpose", self.data.T, (self,))
         out = Tensor(self.data.T, requires_grad=self.requires_grad, _parents=(self,))
         out._backward = lambda grad: ((self, grad.T),)
         return out
@@ -265,7 +371,10 @@ class Tensor:
         return self.transpose()
 
     def __getitem__(self, index) -> "Tensor":
-        out = Tensor(self.data[index], requires_grad=self.requires_grad, _parents=(self,))
+        out_data = self.data[index]
+        if _STATE.inference:
+            return _emit("getitem", out_data, (self,), {"index": index})
+        out = Tensor(out_data, requires_grad=self.requires_grad, _parents=(self,))
 
         def backward(grad: np.ndarray):
             full = np.zeros_like(self.data)
@@ -280,6 +389,8 @@ class Tensor:
     # ------------------------------------------------------------------
     def sum(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
         out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        if _STATE.inference:
+            return _emit("sum", out_data, (self,), {"axis": axis, "keepdims": keepdims})
         out = Tensor(out_data, requires_grad=self.requires_grad, _parents=(self,))
 
         def backward(grad: np.ndarray):
@@ -296,10 +407,19 @@ class Tensor:
             count = self.data.size
         else:
             count = self.data.shape[axis]
+        if _STATE.inference:
+            # Recorded as one composite op: the 1/count factor depends on the
+            # live batch shape, so a replay kernel must recompute it rather
+            # than bake the trace-time constant into a ``mul`` step.  The
+            # expression is the sum/scale decomposition below, verbatim.
+            out_data = self.data.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+            return _emit("mean", out_data, (self,), {"axis": axis, "keepdims": keepdims})
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
 
     def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
         out_data = self.data.max(axis=axis, keepdims=keepdims)
+        if _STATE.inference:
+            return _emit("max", out_data, (self,), {"axis": axis, "keepdims": keepdims})
         out = Tensor(out_data, requires_grad=self.requires_grad, _parents=(self,))
 
         def backward(grad: np.ndarray):
@@ -320,17 +440,24 @@ class Tensor:
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
         out_data = np.exp(self.data)
+        if _STATE.inference:
+            return _emit("exp", out_data, (self,))
         out = Tensor(out_data, requires_grad=self.requires_grad, _parents=(self,))
         out._backward = lambda grad: ((self, grad * out_data),)
         return out
 
     def log(self) -> "Tensor":
-        out = Tensor(np.log(self.data), requires_grad=self.requires_grad, _parents=(self,))
+        out_data = np.log(self.data)
+        if _STATE.inference:
+            return _emit("log", out_data, (self,))
+        out = Tensor(out_data, requires_grad=self.requires_grad, _parents=(self,))
         out._backward = lambda grad: ((self, grad / self.data),)
         return out
 
     def clip(self, low: float, high: float) -> "Tensor":
         out_data = np.clip(self.data, low, high)
+        if _STATE.inference:
+            return _emit("clip", out_data, (self,), {"low": low, "high": high})
         out = Tensor(out_data, requires_grad=self.requires_grad, _parents=(self,))
 
         def backward(grad: np.ndarray):
@@ -365,8 +492,11 @@ def zeros(*shape: int, requires_grad: bool = False) -> Tensor:
 def matmul(a: Tensor, b: Tensor) -> Tensor:
     """Dense matrix product with gradients for both operands."""
     a_t, b_t = _ensure_tensor(a), _ensure_tensor(b)
+    out_data = a_t.data @ b_t.data
+    if _STATE.inference:
+        return _emit("matmul", out_data, (a_t, b_t))
     out = Tensor(
-        a_t.data @ b_t.data,
+        out_data,
         requires_grad=a_t.requires_grad or b_t.requires_grad,
         _parents=(a_t, b_t),
     )
@@ -389,8 +519,11 @@ def spmm(sparse_matrix: sp.spmatrix, dense: Tensor) -> Tensor:
     """
     dense_t = _ensure_tensor(dense)
     matrix = sparse_matrix.tocsr()
+    out_data = matrix @ dense_t.data
+    if _STATE.inference:
+        return _emit("spmm", out_data, (dense_t,), {"matrix": matrix})
     out = Tensor(
-        matrix @ dense_t.data,
+        out_data,
         requires_grad=dense_t.requires_grad,
         _parents=(dense_t,),
     )
@@ -402,6 +535,8 @@ def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
     """Concatenate tensors along ``axis`` with gradient routing."""
     items = [_ensure_tensor(t) for t in tensors]
     data = np.concatenate([t.data for t in items], axis=axis)
+    if _STATE.inference:
+        return _emit("concat", data, tuple(items), {"axis": axis})
     out = Tensor(
         data,
         requires_grad=any(t.requires_grad for t in items),
@@ -422,6 +557,8 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new axis."""
     items = [_ensure_tensor(t) for t in tensors]
     data = np.stack([t.data for t in items], axis=axis)
+    if _STATE.inference:
+        return _emit("stack", data, tuple(items), {"axis": axis})
     out = Tensor(
         data,
         requires_grad=any(t.requires_grad for t in items),
@@ -442,7 +579,10 @@ def gather_rows(source: Tensor, index: np.ndarray) -> Tensor:
     """Select rows ``source[index]`` (used to fetch edge endpoints)."""
     index = np.asarray(index, dtype=np.int64)
     src = _ensure_tensor(source)
-    out = Tensor(src.data[index], requires_grad=src.requires_grad, _parents=(src,))
+    out_data = src.data[index]
+    if _STATE.inference:
+        return _emit("gather", out_data, (src,), {"index": index})
+    out = Tensor(out_data, requires_grad=src.requires_grad, _parents=(src,))
 
     def backward(grad: np.ndarray):
         full = np.zeros_like(src.data)
@@ -460,6 +600,10 @@ def scatter_add(source: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
     out_shape = (num_segments,) + src.data.shape[1:]
     data = np.zeros(out_shape, dtype=src.data.dtype)
     np.add.at(data, index, src.data)
+    if _STATE.inference:
+        return _emit(
+            "scatter_add", data, (src,), {"index": index, "num_segments": num_segments}
+        )
     out = Tensor(data, requires_grad=src.requires_grad, _parents=(src,))
     out._backward = lambda grad: ((src, grad[index]),)
     return out
@@ -471,7 +615,10 @@ def scatter_add(source: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
 def relu(x: Tensor) -> Tensor:
     x_t = _ensure_tensor(x)
     mask = (x_t.data > 0).astype(x_t.data.dtype)
-    out = Tensor(x_t.data * mask, requires_grad=x_t.requires_grad, _parents=(x_t,))
+    out_data = x_t.data * mask
+    if _STATE.inference:
+        return _emit("relu", out_data, (x_t,))
+    out = Tensor(out_data, requires_grad=x_t.requires_grad, _parents=(x_t,))
     out._backward = lambda grad: ((x_t, grad * mask),)
     return out
 
@@ -479,7 +626,10 @@ def relu(x: Tensor) -> Tensor:
 def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
     x_t = _ensure_tensor(x)
     slope = np.where(x_t.data > 0, 1.0, negative_slope)
-    out = Tensor(x_t.data * slope, requires_grad=x_t.requires_grad, _parents=(x_t,))
+    out_data = x_t.data * slope
+    if _STATE.inference:
+        return _emit("leaky_relu", out_data, (x_t,), {"negative_slope": negative_slope})
+    out = Tensor(out_data, requires_grad=x_t.requires_grad, _parents=(x_t,))
     out._backward = lambda grad: ((x_t, grad * slope),)
     return out
 
@@ -487,6 +637,8 @@ def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
 def tanh(x: Tensor) -> Tensor:
     x_t = _ensure_tensor(x)
     out_data = np.tanh(x_t.data)
+    if _STATE.inference:
+        return _emit("tanh", out_data, (x_t,))
     out = Tensor(out_data, requires_grad=x_t.requires_grad, _parents=(x_t,))
     out._backward = lambda grad: ((x_t, grad * (1.0 - out_data**2)),)
     return out
@@ -495,6 +647,8 @@ def tanh(x: Tensor) -> Tensor:
 def sigmoid(x: Tensor) -> Tensor:
     x_t = _ensure_tensor(x)
     out_data = 1.0 / (1.0 + np.exp(-x_t.data))
+    if _STATE.inference:
+        return _emit("sigmoid", out_data, (x_t,))
     out = Tensor(out_data, requires_grad=x_t.requires_grad, _parents=(x_t,))
     out._backward = lambda grad: ((x_t, grad * out_data * (1.0 - out_data)),)
     return out
@@ -503,8 +657,11 @@ def sigmoid(x: Tensor) -> Tensor:
 def maximum(x: Tensor, value: float) -> Tensor:
     """Elementwise maximum with a scalar constant."""
     x_t = _ensure_tensor(x)
+    out_data = np.maximum(x_t.data, value)
+    if _STATE.inference:
+        return _emit("maximum", out_data, (x_t,), {"value": value})
     mask = (x_t.data >= value).astype(x_t.data.dtype)
-    out = Tensor(np.maximum(x_t.data, value), requires_grad=x_t.requires_grad, _parents=(x_t,))
+    out = Tensor(out_data, requires_grad=x_t.requires_grad, _parents=(x_t,))
     out._backward = lambda grad: ((x_t, grad * mask),)
     return out
 
@@ -514,6 +671,8 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
     shifted = x_t.data - x_t.data.max(axis=axis, keepdims=True)
     exps = np.exp(shifted)
     out_data = exps / exps.sum(axis=axis, keepdims=True)
+    if _STATE.inference:
+        return _emit("softmax", out_data, (x_t,), {"axis": axis})
     out = Tensor(out_data, requires_grad=x_t.requires_grad, _parents=(x_t,))
 
     def backward(grad: np.ndarray):
@@ -529,6 +688,8 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     shifted = x_t.data - x_t.data.max(axis=axis, keepdims=True)
     log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
     out_data = shifted - log_sum
+    if _STATE.inference:
+        return _emit("log_softmax", out_data, (x_t,), {"axis": axis})
     out = Tensor(out_data, requires_grad=x_t.requires_grad, _parents=(x_t,))
     probs = np.exp(out_data)
 
@@ -547,6 +708,11 @@ def dropout(x: Tensor, rate: float, rng: np.random.Generator, training: bool = T
     x_t = _ensure_tensor(x)
     keep = 1.0 - rate
     mask = (rng.random(x_t.shape) < keep).astype(x_t.data.dtype) / keep
-    out = Tensor(x_t.data * mask, requires_grad=x_t.requires_grad, _parents=(x_t,))
+    out_data = x_t.data * mask
+    if _STATE.inference:
+        # Stochastic: recorded so a capture attempt of a training-mode model
+        # is rejected at compile time rather than silently frozen.
+        return _emit("dropout", out_data, (x_t,))
+    out = Tensor(out_data, requires_grad=x_t.requires_grad, _parents=(x_t,))
     out._backward = lambda grad: ((x_t, grad * mask),)
     return out

@@ -192,3 +192,51 @@ class TestConcurrentScoreNodes:
             value_after = reference.score_nodes([node])
         for row in scores:
             assert np.array_equal(row, value_before) or np.array_equal(row, value_after)
+
+
+def _replay_buffer_ids(engine):
+    """ids of every preallocated replay buffer an engine owns."""
+    buffers = set()
+    if engine is None:
+        return buffers
+    for compiled in engine._compiled.values():
+        for value in compiled._values:
+            if value.kind == "buffer":
+                buffers.add(id(value.buffer))
+    return buffers
+
+
+class TestConcurrentReplaySessions:
+    def test_sessions_never_share_replay_buffers(self, artifact):
+        """Two sessions scoring the same nodes concurrently each trace their
+        own compiled schedules: distinct engines, disjoint buffer storage,
+        and scores bit-identical to a serial session's."""
+        serial_detector, serial_graph = _fresh(artifact)
+        nodes = [np.array([1, 2, 3]), np.array([10]), np.arange(8)]
+        with api.DetectionSession(serial_detector, serial_graph) as session:
+            expected = [session.score_nodes(batch) for batch in nodes]
+            expected = expected + expected  # warm pass replays, must agree
+
+        detector, graph = _fresh(artifact)
+        sessions = [api.DetectionSession(detector, graph) for _ in range(2)]
+        results: dict = {}
+
+        def worker(index):
+            session = sessions[index % 2]
+            results[index] = [session.score_nodes(batch) for batch in nodes + nodes]
+
+        try:
+            _run_threads(worker, count=4)
+        finally:
+            engines = [session._replay_engine for session in sessions]
+            for session in sessions:
+                session.close(release_pool=False)
+
+        for rows in results.values():
+            for produced, reference in zip(rows, expected):
+                np.testing.assert_array_equal(produced, reference)
+        assert engines[0] is not None and engines[1] is not None
+        assert engines[0] is not engines[1]
+        left, right = _replay_buffer_ids(engines[0]), _replay_buffer_ids(engines[1])
+        assert left and right
+        assert left.isdisjoint(right), "sessions share mutable replay buffers"

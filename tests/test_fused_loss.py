@@ -1,0 +1,141 @@
+"""Property tests: ``fused_cross_entropy`` is bit-identical to the composed
+``cross_entropy(...) + l2_penalty(...)`` expression — same forward value and
+the same gradient, exactly, for the logits and every parameter.
+
+Exact ``np.array_equal`` comparisons, no tolerances: the fused loss exists
+so the trainer can swap it in without perturbing a single ULP of training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import Tensor, cross_entropy, fused_cross_entropy, l2_penalty
+
+LOGIT_SHAPES = st.tuples(st.integers(1, 7), st.integers(2, 5))
+
+
+def _logits_and_labels(shape):
+    rows, classes = shape
+    logits = st.lists(
+        st.lists(
+            st.floats(-30.0, 30.0, allow_nan=False), min_size=classes, max_size=classes
+        ),
+        min_size=rows,
+        max_size=rows,
+    ).map(np.array)
+    labels = st.lists(
+        st.integers(0, classes - 1), min_size=rows, max_size=rows
+    ).map(lambda values: np.array(values, dtype=np.int64))
+    weight = st.one_of(
+        st.none(),
+        st.lists(
+            st.floats(0.05, 5.0, allow_nan=False), min_size=classes, max_size=classes
+        ).map(np.array),
+    )
+    return st.tuples(logits, labels, weight)
+
+
+def _parameters(seed, count):
+    rng = np.random.default_rng(seed)
+    shapes = [(2, 3), (4,), (1, 5)][:count]
+    return [
+        Tensor(rng.normal(size=shape), requires_grad=True) for shape in shapes
+    ]
+
+
+def _composed(logits_values, labels, weight, parameters, weight_decay):
+    logits = Tensor(logits_values, requires_grad=True)
+    loss = cross_entropy(logits, labels, weight=weight)
+    if parameters:
+        loss = loss + l2_penalty(parameters, weight_decay)
+    loss.backward()
+    return loss, logits
+
+
+def _fused(logits_values, labels, weight, parameters, weight_decay):
+    logits = Tensor(logits_values, requires_grad=True)
+    loss = fused_cross_entropy(
+        logits, labels, weight=weight, parameters=parameters, weight_decay=weight_decay
+    )
+    loss.backward()
+    return loss, logits
+
+
+class TestFusedMatchesComposed:
+    @given(LOGIT_SHAPES.flatmap(_logits_and_labels))
+    @settings(max_examples=60, deadline=None)
+    def test_value_and_logit_grad_without_l2(self, drawn):
+        logits_values, labels, weight = drawn
+        composed_loss, composed_logits = _composed(
+            logits_values, labels, weight, [], 0.0
+        )
+        fused_loss, fused_logits = _fused(logits_values, labels, weight, [], 0.0)
+        assert np.array_equal(fused_loss.numpy(), composed_loss.numpy())
+        assert np.array_equal(fused_logits.grad, composed_logits.grad)
+
+    @given(
+        LOGIT_SHAPES.flatmap(_logits_and_labels),
+        st.integers(0, 2**31 - 1),
+        st.integers(1, 3),
+        st.floats(1e-6, 0.5, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_value_and_all_grads_with_l2(self, drawn, seed, count, weight_decay):
+        logits_values, labels, weight = drawn
+        composed_params = _parameters(seed, count)
+        fused_params = _parameters(seed, count)  # same values, fresh tensors
+        composed_loss, composed_logits = _composed(
+            logits_values, labels, weight, composed_params, weight_decay
+        )
+        fused_loss, fused_logits = _fused(
+            logits_values, labels, weight, fused_params, weight_decay
+        )
+        assert np.array_equal(fused_loss.numpy(), composed_loss.numpy())
+        assert np.array_equal(fused_logits.grad, composed_logits.grad)
+        for composed_param, fused_param in zip(composed_params, fused_params):
+            assert np.array_equal(fused_param.grad, composed_param.grad)
+
+
+class TestFusedEdgeCases:
+    def test_no_parameters_is_pure_cross_entropy(self):
+        logits_values = np.array([[2.0, -1.0], [0.5, 0.25]])
+        labels = np.array([0, 1])
+        composed_loss, _ = _composed(logits_values, labels, None, [], 0.0)
+        fused_loss, _ = _fused(logits_values, labels, None, [], 0.0)
+        assert np.array_equal(fused_loss.numpy(), composed_loss.numpy())
+
+    def test_zero_weight_decay_still_matches(self):
+        logits_values = np.array([[1.0, 2.0, 3.0]])
+        labels = np.array([2])
+        composed_params = _parameters(5, 2)
+        fused_params = _parameters(5, 2)
+        composed_loss, _ = _composed(logits_values, labels, None, composed_params, 0.0)
+        fused_loss, _ = _fused(logits_values, labels, None, fused_params, 0.0)
+        assert np.array_equal(fused_loss.numpy(), composed_loss.numpy())
+        for composed_param, fused_param in zip(composed_params, fused_params):
+            assert np.array_equal(fused_param.grad, composed_param.grad)
+
+    def test_frozen_parameters_get_no_grad(self):
+        logits_values = np.array([[1.0, -1.0]])
+        labels = np.array([0])
+        frozen = Tensor(np.ones((2, 2)), requires_grad=False)
+        loss = fused_cross_entropy(
+            Tensor(logits_values, requires_grad=True),
+            labels,
+            parameters=[frozen],
+            weight_decay=0.1,
+        )
+        loss.backward()
+        assert frozen.grad is None
+
+    def test_extreme_logits_stay_finite_and_equal(self):
+        logits_values = np.array([[700.0, -700.0], [-700.0, 700.0]])
+        labels = np.array([1, 0])
+        composed_loss, composed_logits = _composed(logits_values, labels, None, [], 0.0)
+        fused_loss, fused_logits = _fused(logits_values, labels, None, [], 0.0)
+        assert np.isfinite(fused_loss.numpy())
+        assert np.array_equal(fused_loss.numpy(), composed_loss.numpy())
+        assert np.array_equal(fused_logits.grad, composed_logits.grad)

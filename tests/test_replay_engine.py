@@ -1,0 +1,245 @@
+"""Capture-and-replay inference engine: bit-identity, buckets, fallbacks.
+
+Every assertion here is exact (``np.array_equal``, no tolerances): the
+engine's contract is that ``ReplayEngine.forward_proba`` is bit-identical
+to its oracle ``eager_forward_proba`` — a compiled schedule that drifts by
+one ULP must never serve traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.core import BSG4Bot, BSG4BotConfig
+from repro.tensor import Tensor, concat, inference_mode, is_inference, softmax
+from repro.tensor.replay import (
+    ReplayEngine,
+    bucket_key,
+    eager_forward_proba,
+    trace_forward_proba,
+)
+from tests.conftest import make_separable_graph
+
+GRAPH_SEED = 33
+
+
+def _make_graph():
+    return make_separable_graph(num_nodes=60, seed=GRAPH_SEED)
+
+
+@pytest.fixture(scope="module")
+def detector():
+    graph = _make_graph()
+    config = BSG4BotConfig(
+        pretrain_epochs=10, hidden_dim=8, pretrain_hidden_dim=8,
+        subgraph_k=3, max_epochs=3, min_epochs=1, patience=2, batch_size=16,
+    )
+    fitted = BSG4Bot(config)
+    fitted.fit(graph)
+    # Pre-build every subgraph so tests can collate arbitrary node sets.
+    fitted.predict_proba_nodes(np.arange(graph.num_nodes))
+    return fitted
+
+
+def _batch(detector, nodes):
+    nodes = np.asarray(nodes, dtype=np.int64)
+    detector.predict_proba_nodes(nodes)  # builds any missing subgraphs
+    return detector.store.collate(nodes)
+
+
+class TestReplayBitIdentity:
+    @pytest.mark.parametrize("size", [1, 3, 7, 16])
+    def test_trace_then_replay_bit_identical(self, detector, size):
+        rng = np.random.default_rng(size)
+        batch = _batch(detector, rng.choice(60, size=size, replace=False))
+        engine = ReplayEngine()
+        reference = eager_forward_proba(detector.model, batch)
+        cold = engine.forward_proba(detector.model, batch)  # traces + compiles
+        warm = engine.forward_proba(detector.model, batch)  # replays
+        assert np.array_equal(cold, reference)
+        assert np.array_equal(warm, reference)
+        assert not engine.disabled
+
+    def test_second_call_hits_the_bucket(self, detector):
+        batch = _batch(detector, [0, 1, 2])
+        engine = ReplayEngine()
+        engine.forward_proba(detector.model, batch)
+        stats = engine.consume_stats()
+        assert stats["replay_misses"] == 1 and stats["replay_hits"] == 0
+        engine.forward_proba(detector.model, batch)
+        stats = engine.consume_stats()
+        assert stats["replay_misses"] == 0 and stats["replay_hits"] == 1
+        assert stats["model_s"] > 0.0
+
+    def test_same_bucket_smaller_batch_replays(self, detector):
+        # A smaller batch landing in an already-compiled bucket must replay
+        # through the sliced buffers bit-identically, not retrace.
+        big = _batch(detector, list(range(16)))
+        engine = ReplayEngine()
+        engine.forward_proba(detector.model, big)
+        small = _batch(detector, [40, 41, 42])
+        if bucket_key(small) == bucket_key(big):
+            reference = eager_forward_proba(detector.model, small)
+            replayed = engine.forward_proba(detector.model, small)
+            assert np.array_equal(replayed, reference)
+            assert engine.consume_stats()["replay_hits"] >= 1
+
+    def test_replayed_output_is_a_private_copy(self, detector):
+        batch = _batch(detector, [3, 4])
+        engine = ReplayEngine()
+        engine.forward_proba(detector.model, batch)
+        first = engine.forward_proba(detector.model, batch)
+        snapshot = first.copy()
+        second = engine.forward_proba(detector.model, batch)
+        assert first is not second
+        second[...] = -1.0  # scribbling on one result must not reach the other
+        assert np.array_equal(first, snapshot)
+
+
+class TestBuckets:
+    def test_eviction_at_capacity(self, detector):
+        # Center counts 1 / 20 / 40 land in distinct (pow2) center buckets;
+        # with room for two, the third trace evicts the oldest.
+        engine = ReplayEngine(max_buckets=2)
+        sizes = [[0], list(range(20)), list(range(40))]
+        batches = [_batch(detector, nodes) for nodes in sizes]
+        assert len({bucket_key(b) for b in batches}) == 3
+        for batch in batches:
+            engine.forward_proba(detector.model, batch)
+        stats = engine.consume_stats()
+        assert stats["replay_misses"] == 3
+        assert stats["replay_evictions"] == 1
+        assert len(engine._compiled) == 2
+        # The evicted (oldest) bucket retraces; the survivors replay.
+        engine.forward_proba(detector.model, batches[0])
+        assert engine.consume_stats()["replay_misses"] == 1
+
+    def test_lru_order_refreshes_on_hit(self, detector):
+        engine = ReplayEngine(max_buckets=2)
+        a = _batch(detector, [0])
+        b = _batch(detector, list(range(20)))
+        c = _batch(detector, list(range(40)))
+        engine.forward_proba(detector.model, a)
+        engine.forward_proba(detector.model, b)
+        engine.forward_proba(detector.model, a)  # refresh a → b is now oldest
+        engine.forward_proba(detector.model, c)  # evicts b
+        engine.consume_stats()
+        engine.forward_proba(detector.model, a)
+        assert engine.consume_stats()["replay_hits"] == 1
+
+
+class TestFallbacks:
+    def test_unsupported_trace_disables_capture(self, detector):
+        class _SymbolicConcatModel:
+            def eval(self):
+                pass
+
+            def __call__(self, batch):
+                x = Tensor(batch.features)
+                # Concat along the symbolic node axis is not replayable.
+                return concat([x, x], axis=0)
+
+        model = _SymbolicConcatModel()
+        batch = _batch(detector, [5, 6])
+        engine = ReplayEngine()
+        reference = eager_forward_proba(model, batch)
+        produced = engine.forward_proba(model, batch)
+        assert np.array_equal(produced, reference)
+        assert engine.disabled
+        assert engine.consume_stats()["replay_misses"] == 1
+        # Once disabled the engine serves eager output, never retracing.
+        again = engine.forward_proba(model, batch)
+        assert np.array_equal(again, reference)
+        stats = engine.consume_stats()
+        assert stats["replay_misses"] == 0 and stats["replay_hits"] == 0
+        assert stats["model_s"] > 0.0
+
+    def test_second_model_stays_eager(self, detector):
+        engine = ReplayEngine()
+        batch = _batch(detector, [7, 8])
+        engine.forward_proba(detector.model, batch)
+        other = BSG4Bot(BSG4BotConfig(
+            pretrain_epochs=5, hidden_dim=8, pretrain_hidden_dim=8,
+            subgraph_k=3, max_epochs=2, min_epochs=1, patience=2, batch_size=16,
+        ))
+        other.fit(_make_graph())
+        other.predict_proba_nodes(np.array([7, 8]))
+        engine.consume_stats()
+        produced = engine.forward_proba(other.model, batch)
+        assert np.array_equal(produced, eager_forward_proba(other.model, batch))
+        stats = engine.consume_stats()
+        assert stats["replay_hits"] == 0 and stats["replay_misses"] == 0
+        assert not engine.disabled  # the first model's buckets stay usable
+
+    def test_capture_disabled_engine_still_times(self, detector):
+        engine = ReplayEngine(capture=False)
+        batch = _batch(detector, [9])
+        produced = engine.forward_proba(detector.model, batch)
+        assert np.array_equal(produced, eager_forward_proba(detector.model, batch))
+        stats = engine.consume_stats()
+        assert stats["model_s"] > 0.0
+        assert stats["replay_hits"] == 0 and stats["replay_misses"] == 0
+
+
+class TestSessionIntegration:
+    def test_replay_session_matches_replay_off_session(self, detector):
+        graph = _make_graph()
+        nodes = [2, 11, 23, 42]
+        with api.DetectionSession(detector, graph, use_replay=True) as session:
+            replayed_cold = session.score_nodes(nodes)
+            replayed_warm = session.score_nodes(nodes)
+            stats = session.consume_replay_stats()
+        with api.DetectionSession(detector, graph, use_replay=False) as eager:
+            reference = eager.score_nodes(nodes)
+            eager_stats = eager.consume_replay_stats()
+        assert np.array_equal(replayed_cold, reference)
+        assert np.array_equal(replayed_warm, reference)
+        assert stats["replay_hits"] >= 1
+        assert eager_stats["replay_hits"] == 0 and eager_stats["replay_misses"] == 0
+        assert eager_stats["model_s"] > 0.0
+
+    def test_env_kill_switch(self, detector, monkeypatch):
+        monkeypatch.setenv("REPRO_REPLAY", "0")
+        graph = _make_graph()
+        with api.DetectionSession(detector, graph) as session:
+            scores = session.score_nodes([1, 2])
+            stats = session.consume_replay_stats()
+        assert scores.shape == (2, 2)
+        assert stats["replay_misses"] == 0 and stats["replay_hits"] == 0
+
+
+class TestInferenceSemantics:
+    def test_inference_mode_bit_identical_and_graphless(self, detector):
+        batch = _batch(detector, [10, 11, 12])
+        model = detector.model
+        model.eval()
+        plain = softmax(model(batch), axis=-1)
+        with inference_mode():
+            assert is_inference()
+            graphless = softmax(model(batch), axis=-1)
+        assert not is_inference()
+        assert np.array_equal(plain.numpy(), graphless.numpy())
+        assert plain._parents  # the autograd path builds a graph...
+        assert not graphless._parents  # ...the inference path must not
+        assert graphless._backward is None
+
+    def test_trace_forward_matches_eager(self, detector):
+        batch = _batch(detector, [13, 14])
+        tape, traced = trace_forward_proba(detector.model, batch)
+        assert np.array_equal(traced, eager_forward_proba(detector.model, batch))
+        assert tape.steps  # the trace actually recorded the forward
+
+    def test_detach_shares_storage_by_default(self):
+        source = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        view = source.detach()
+        view.data[0, 0] = 99.0
+        assert source.data[0, 0] == 99.0  # shared storage, documented default
+
+    def test_detach_copy_is_isolated(self):
+        source = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        isolated = source.detach(copy=True)
+        isolated.data[0, 0] = 99.0
+        assert source.data[0, 0] == 0.0
+        assert not isolated.requires_grad

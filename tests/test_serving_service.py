@@ -319,6 +319,7 @@ class TestLifecycle:
             "requests", "nodes_scored", "waves", "wave_nodes", "batch_occupancy",
             "requests_per_wave", "deltas_enqueued", "deltas_applied",
             "subgraphs_invalidated", "errors", "request_latency", "queue_wait",
+            "model_time", "replay_hits", "replay_misses",
             "detector", "graph", "uptime_s", "pending_requests", "pending_deltas",
             "applied_delta_seq", "tail_delta_seq", "store_size",
             "store_cache_hits", "store_cache_misses", "subgraphs_built",
@@ -329,6 +330,15 @@ class TestLifecycle:
         assert snapshot["nodes_scored"] == 3
         assert snapshot["deltas_applied"] == 1
         assert snapshot["request_latency"]["count"] == 1
+        # Every executed wave lands one model_time sample and one replay
+        # hit-or-miss tally (the first wave of a fresh session is a miss).
+        assert snapshot["model_time"]["count"] == snapshot["waves"]
+        assert (
+            snapshot["replay_hits"] + snapshot["replay_misses"] == snapshot["waves"]
+        )
+        assert snapshot["replay_misses"] >= 1
+        for key in ("p50_s", "p90_s", "p99_s", "mean_s"):
+            assert snapshot["model_time"][key] >= 0.0
         import json
 
         json.dumps(snapshot)  # must stay JSON-serializable for the CLI
