@@ -1,0 +1,75 @@
+"""Cluster-layer benchmark: scoring throughput vs shard count.
+
+Thin wrapper around :func:`repro.serving.cluster.run_cluster_benchmark`
+that pins the recorded scale, writes ``benchmarks/results/BENCH_cluster.json``
+for the perf trajectory, and enforces the horizontal-scaling acceptance
+floor: throughput at the widest shard rung must be at least
+``REPRO_CLUSTER_MIN_SCALING`` times the single-shard baseline under the
+same concurrent partition-local load.  The default floor is host-aware
+(see :func:`repro.serving.cluster.bench.default_min_scaling`): ≥2 CPUs
+must show real scaling (≥1.05x), a single CPU — where shard dispatchers
+physically cannot overlap — must show bounded sharding overhead (≥0.60x).
+Every per-shard wave must replay bit-identically through serial
+full-graph scoring and the final teardown must leave no dispatcher
+thread, shared pool, or shared-memory segment behind (asserted inside
+the core run).
+
+Not collected by pytest (no ``test_`` prefix); run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py [--shards 1,2,4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from pathlib import Path
+
+from repro.serving.cluster.bench import (
+    default_min_scaling,
+    format_result,
+    run_cluster_benchmark,
+)
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_cluster.json"
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--users", type=int, default=400)
+    parser.add_argument(
+        "--shards",
+        type=lambda text: [int(part) for part in text.split(",") if part.strip()],
+        default=[1, 2],
+    )
+    parser.add_argument("--clients", type=int, default=16)
+    parser.add_argument("--requests", type=int, default=16)
+    parser.add_argument("--max-batch", type=int, default=64)
+    parser.add_argument("--max-wait-ms", type=float, default=6.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", type=Path, default=RESULTS_PATH)
+    args = parser.parse_args()
+
+    min_scaling = float(
+        os.environ.get("REPRO_CLUSTER_MIN_SCALING", default_min_scaling())
+    )
+    result = run_cluster_benchmark(
+        num_users=args.users,
+        shard_ladder=args.shards,
+        clients=args.clients,
+        requests_per_client=args.requests,
+        max_batch_size=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        seed=args.seed,
+        min_scaling=min_scaling,
+    )
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    with open(args.output, "w") as handle:
+        json.dump(result, handle, indent=2, default=float)
+    print(f"wrote {args.output}")
+    print(format_result(result))
+
+
+if __name__ == "__main__":
+    main()

@@ -47,8 +47,20 @@ GUARDED_CLASSES: Dict[str, Tuple[str, Tuple[str, ...]]] = {
             "_use_replay",
         ),
     ),
-    "MicroBatcher": ("_condition", ("_queue", "_closed")),
-    "DeltaLog": ("_lock", ("_pending", "_next_seq", "_applied_seq", "_closed")),
+    "MicroBatcher": ("_condition", ("_queue", "_closed", "_current_wait_s")),
+    "DeltaLog": (
+        "_lock",
+        (
+            "_pending",
+            "_next_seq",
+            "_applied_seq",
+            "_closed",
+            "_oldest_pending_at",
+            "_expedited",
+        ),
+    ),
+    "ShardRouter": ("_lock", ("_closed", "_requests", "_updates")),
+    "ClusterHTTPServer": ("_lock", ("_inflight", "_rejected")),
     "ServingMetrics": ("_lock", ("_counters",)),
     "LatencyHistogram": ("_lock", ("_counts", "_sum", "_min", "_max")),
 }

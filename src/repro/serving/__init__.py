@@ -19,12 +19,23 @@ exposes serving telemetry (:class:`ServingMetrics`).
 
 from repro.serving.batcher import BatcherClosed, MicroBatcher, ScoreRequest
 from repro.serving.bench import format_result, run_serving_benchmark
+from repro.serving.cluster import (
+    ClusterHTTPServer,
+    ClusterRequest,
+    ShardPlan,
+    ShardPlanError,
+    ShardRouter,
+    ShardSpec,
+    plan_shards,
+)
 from repro.serving.ingest import DeltaLog, GraphDelta
 from repro.serving.metrics import LatencyHistogram, ServingMetrics
 from repro.serving.service import DetectionService, ServiceClosed
 
 __all__ = [
     "BatcherClosed",
+    "ClusterHTTPServer",
+    "ClusterRequest",
     "DeltaLog",
     "DetectionService",
     "GraphDelta",
@@ -33,6 +44,11 @@ __all__ = [
     "ScoreRequest",
     "ServiceClosed",
     "ServingMetrics",
+    "ShardPlan",
+    "ShardPlanError",
+    "ShardRouter",
+    "ShardSpec",
     "format_result",
+    "plan_shards",
     "run_serving_benchmark",
 ]

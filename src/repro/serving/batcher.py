@@ -141,6 +141,7 @@ class MicroBatcher:
         max_batch_size: int = 64,
         max_wait_ms: float = 2.0,
         clock: Callable[[], float] = time.monotonic,
+        adaptive_wait: bool = False,
     ) -> None:
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
@@ -148,10 +149,19 @@ class MicroBatcher:
             raise ValueError("max_wait_ms must be non-negative")
         self.max_batch_size = int(max_batch_size)
         self.max_wait_s = float(max_wait_ms) / 1000.0
+        #: Adaptive linger policy: halve the effective wait after a wave
+        #: dispatches full (under sustained load the queue refills by
+        #: itself — lingering only adds latency), double it back toward the
+        #: configured ``max_wait_ms`` cap after a half-empty wave (sparse
+        #: traffic needs the linger to coalesce at all).  Only wave
+        #: *boundaries* move; each realized wave's bit-identity contract is
+        #: untouched.
+        self.adaptive_wait = bool(adaptive_wait)
         self._clock = clock
         self._condition = tracked_condition("MicroBatcher._condition")
         self._queue: List[ScoreRequest] = []
         self._closed = False
+        self._current_wait_s = self.max_wait_s  # guarded-by: _condition
 
     # ------------------------------------------------------------------
     # Caller side
@@ -204,8 +214,9 @@ class MicroBatcher:
             # passes with no new arrivals (a concurrent burst lands within
             # microseconds of itself; waiting out the full deadline after it
             # stopped would only add latency).
-            deadline = self._queue[0].enqueued_at + self.max_wait_s
-            stability_window = max(self.max_wait_s / 8.0, 1e-4)
+            wait_s = self._current_wait_s if self.adaptive_wait else self.max_wait_s
+            deadline = self._queue[0].enqueued_at + wait_s
+            stability_window = max(wait_s / 8.0, 1e-4)
             while not self._closed:
                 if self._prefix_nodes() >= self.max_batch_size:
                     break
@@ -219,11 +230,37 @@ class MicroBatcher:
             length = self._wave_prefix_length()
             wave = self._queue[:length]
             del self._queue[:length]
+            if self.adaptive_wait and wave:
+                self._adapt_wait_locked(sum(r.num_nodes for r in wave))
             self._condition.notify_all()
         started = self._clock()
         for request in wave:
             request.started_at = started
         return wave
+
+    def _adapt_wait_locked(self, wave_nodes: int) -> None:
+        """Move the effective linger after one dispatched wave.
+
+        Caller holds ``_condition``.  Full wave → halve (approaches 0 but
+        never reaches it, so a traffic lull still gets a nonzero linger to
+        recover from); at most half-full → double back toward the
+        ``max_wait_s`` cap, restarting from ``max_wait_s / 64`` when the
+        wait has decayed below that.  Waves in between leave it unchanged.
+        """
+        if wave_nodes >= self.max_batch_size:
+            self._current_wait_s /= 2.0
+        elif wave_nodes <= self.max_batch_size // 2:
+            floor = self.max_wait_s / 64.0
+            self._current_wait_s = min(
+                self.max_wait_s, max(self._current_wait_s, floor) * 2.0
+            )
+
+    @property
+    def current_wait_ms(self) -> float:
+        """Effective linger in ms (== ``max_wait_ms`` when not adaptive)."""
+        with self._condition:
+            wait_s = self._current_wait_s if self.adaptive_wait else self.max_wait_s
+        return wait_s * 1000.0
 
     def _prefix_nodes(self) -> int:
         """Node rows carried by the head prefix.  Caller holds ``_condition``."""

@@ -1,0 +1,338 @@
+"""Asyncio HTTP/JSON front end for the sharded serving cluster.
+
+A deliberately small HTTP/1.1 server on stdlib ``asyncio`` streams (no new
+dependencies): parse one request, answer JSON, close the connection.  The
+event loop only shuttles bytes and JSON; every blocking router call
+(``score``, ``submit_update`` — lock acquisition, wave waits) runs on a
+bounded worker pool via ``run_in_executor`` so the loop keeps accepting
+connections while waves execute.
+
+Endpoints
+---------
+
+* ``POST /score`` — body ``{"nodes": [17, 42], "timeout": 30.0}`` →
+  ``{"probabilities": [[h, b], ...], "delta_seqs": {"0": 3}}`` in request
+  node order.
+* ``POST /update`` — body ``{"edges_added": {"followers": [[17], [42]]},
+  "features_changed": {"7": [0.1, ...]}}`` → ``{"shards": {"0": 4}}``
+  (per-shard delta sequence numbers: the caller's read-your-writes
+  barrier).
+* ``GET /healthz`` — liveness + per-shard open/closed flags.
+* ``GET /metrics`` — aggregated :meth:`ShardRouter.snapshot` (cluster
+  totals, plan stats, per-shard serving telemetry).
+
+Backpressure
+------------
+
+Admission is bounded twice: at most ``max_inflight`` scoring/update
+requests may be in flight (the excess gets an immediate ``429`` with
+``Retry-After`` instead of a queue slot — saturation costs the client a
+retry, never the server unbounded memory), and request bodies are capped
+at ``max_body_bytes`` (oversized uploads get ``413`` before being read
+into memory).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import json
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.sanitizer import tracked_rlock
+from repro.serving.cluster.router import ShardRouter
+
+_MAX_HEADER_BYTES = 16 * 1024
+_HTTP_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ClusterHTTPServer:
+    """One router behind four HTTP/JSON endpoints with bounded admission."""
+
+    def __init__(
+        self,
+        router: ShardRouter,
+        host: str = "127.0.0.1",
+        port: int = 8099,
+        *,
+        max_inflight: int = 64,
+        max_body_bytes: int = 8 * 1024 * 1024,
+        score_timeout_s: float = 60.0,
+    ) -> None:
+        if max_inflight <= 0:
+            raise ValueError("max_inflight must be positive")
+        self.router = router
+        self.host = host
+        self.port = port
+        self.max_inflight = int(max_inflight)
+        self.max_body_bytes = int(max_body_bytes)
+        self.score_timeout_s = float(score_timeout_s)
+        self._server: Optional[asyncio.AbstractServer] = None
+        # Blocking router calls (wave waits, delta validation) run here so
+        # the event loop never blocks; the pool is deliberately smaller than
+        # the admission bound — admitted requests queue on the executor,
+        # which is fine, while *admission* itself stays bounded.
+        self._executor = ThreadPoolExecutor(
+            max_workers=min(self.max_inflight, 16),
+            thread_name_prefix="repro-serve-http",
+        )
+        self._lock = tracked_rlock("ClusterHTTPServer._lock")
+        self._inflight = 0  # guarded-by: _lock
+        self._rejected = 0  # guarded-by: _lock
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting connections (port 0 picks a free port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def close(self) -> None:
+        """Stop accepting, wait for the acceptor, release the worker pool.
+
+        The router is *not* closed here — the server is one front end over
+        it; the owning process (``repro serve``) closes the router after
+        the last front end is down.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def _admit(self) -> bool:
+        """Reserve one in-flight slot; False means answer 429 immediately."""
+        with self._lock:
+            if self._inflight >= self.max_inflight:
+                self._rejected += 1
+                return False
+            self._inflight += 1
+            return True
+
+    def _release(self) -> None:
+        with self._lock:
+            self._inflight -= 1
+
+    def admission_stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "inflight": self._inflight,
+                "max_inflight": self.max_inflight,
+                "rejected": self._rejected,
+            }
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, payload = await self._handle_request(reader)
+            await self._write_response(writer, status, payload)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-exchange; nothing to answer
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_head(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, Dict[str, str]]:
+        head = await reader.readuntil(b"\r\n\r\n")
+        if len(head) > _MAX_HEADER_BYTES:
+            raise ValueError("request head too large")
+        lines = head.decode("latin-1").split("\r\n")
+        try:
+            method, path, _version = lines[0].split(" ", 2)
+        except ValueError as error:
+            raise ValueError(f"malformed request line: {lines[0]!r}") from error
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return method.upper(), path.split("?", 1)[0], headers
+
+    async def _handle_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[int, Dict[str, object]]:
+        try:
+            method, path, headers = await self._read_head(reader)
+        except (ValueError, asyncio.LimitOverrunError) as error:
+            return 400, {"error": str(error)}
+        content_length = int(headers.get("content-length", "0") or "0")
+        if content_length > self.max_body_bytes:
+            return 413, {
+                "error": f"body of {content_length} bytes exceeds "
+                f"{self.max_body_bytes}-byte cap"
+            }
+        body = await reader.readexactly(content_length) if content_length else b""
+
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "use GET /healthz"}
+            health = self.router.healthz()
+            health["admission"] = self.admission_stats()
+            return 200, health
+        if path == "/metrics":
+            if method != "GET":
+                return 405, {"error": "use GET /metrics"}
+            snapshot = self.router.snapshot()
+            snapshot["admission"] = self.admission_stats()
+            return 200, snapshot
+        if path in ("/score", "/update"):
+            if method != "POST":
+                return 405, {"error": f"use POST {path}"}
+            try:
+                payload = json.loads(body.decode("utf-8")) if body else {}
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                return 400, {"error": f"invalid JSON body: {error}"}
+            if not isinstance(payload, dict):
+                return 400, {"error": "JSON body must be an object"}
+            if not self._admit():
+                return 429, {
+                    "error": "admission queue full",
+                    "retry_after_s": 0.05,
+                }
+            try:
+                loop = asyncio.get_running_loop()
+                if path == "/score":
+                    call = functools.partial(self._do_score, payload)
+                else:
+                    call = functools.partial(self._do_update, payload)
+                return await loop.run_in_executor(self._executor, call)
+            finally:
+                self._release()
+        return 404, {"error": f"unknown path {path!r}"}
+
+    async def _write_response(
+        self, writer: asyncio.StreamWriter, status: int, payload: Dict[str, object]
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        reason = _HTTP_REASONS.get(status, "OK")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+        )
+        if status == 429:
+            head += "Retry-After: 1\r\n"
+        writer.write(head.encode("latin-1") + b"\r\n" + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Endpoint bodies (run on the worker pool — blocking is fine here)
+    # ------------------------------------------------------------------
+    def _do_score(self, payload: Dict[str, object]) -> Tuple[int, Dict[str, object]]:
+        nodes = payload.get("nodes")
+        if not isinstance(nodes, list):
+            return 400, {"error": "'nodes' must be a list of node ids"}
+        timeout = payload.get("timeout", self.score_timeout_s)
+        try:
+            handle = self.router.submit(nodes)
+            probabilities = handle.result(float(timeout))
+        except (ValueError, TypeError, KeyError) as error:
+            return 400, {"error": str(error)}
+        except TimeoutError as error:
+            return 503, {"error": str(error)}
+        except RuntimeError as error:  # ServiceClosed and friends
+            return 503, {"error": str(error)}
+        return 200, {
+            "nodes": [int(node) for node in nodes],
+            "probabilities": probabilities.tolist(),
+            "delta_seqs": {str(k): int(v) for k, v in handle.delta_seqs.items()},
+        }
+
+    def _do_update(self, payload: Dict[str, object]) -> Tuple[int, Dict[str, object]]:
+        edges_raw = payload.get("edges_added") or {}
+        features_raw = payload.get("features_changed") or {}
+        if not isinstance(edges_raw, dict) or not isinstance(features_raw, dict):
+            return 400, {
+                "error": "'edges_added' and 'features_changed' must be objects"
+            }
+        try:
+            edges = {
+                relation: (list(pair[0]), list(pair[1]))
+                for relation, pair in edges_raw.items()
+            }
+            features = {int(node): list(row) for node, row in features_raw.items()}
+            sequences = self.router.submit_update(
+                edges_added=edges or None,
+                features_changed=features or None,
+            )
+        except (ValueError, TypeError, KeyError, IndexError) as error:
+            return 400, {"error": str(error)}
+        except RuntimeError as error:
+            return 503, {"error": str(error)}
+        return 200, {"shards": {str(k): int(v) for k, v in sequences.items()}}
+
+
+def run_server(
+    router: ShardRouter,
+    host: str = "127.0.0.1",
+    port: int = 8099,
+    *,
+    max_inflight: int = 64,
+    ready_message: bool = True,
+) -> None:
+    """Blocking entry point for ``repro serve``: serve until SIGINT/SIGTERM.
+
+    Owns the full lifecycle: bind, announce readiness on stdout (the CI
+    smoke step waits for this line), serve, and on the first signal stop
+    accepting, drain the router, and close it — a clean exit leaves no
+    dispatcher threads, no pool, and no shared-memory segments.
+    """
+    import signal
+
+    async def _main() -> None:
+        server = ClusterHTTPServer(
+            router, host, port, max_inflight=max_inflight
+        )
+        await server.start()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # non-unix event loops
+                signal.signal(signum, lambda *_args: stop.set())
+        if ready_message:
+            print(
+                f"repro serve: listening on http://{server.host}:{server.port} "
+                f"({router.plan.num_shards} shard(s))",
+                flush=True,
+            )
+        await stop.wait()
+        await server.close()
+
+    try:
+        asyncio.run(_main())
+    finally:
+        router.close()

@@ -1,0 +1,342 @@
+"""``ShardRouter``: fan-out/fan-in front of N per-shard detection services.
+
+The router owns one :class:`repro.serving.DetectionService` per shard of a
+:class:`repro.serving.cluster.ShardPlan`.  Scoring splits a request's nodes
+by center ownership, submits each slice to its shard's micro-batcher (all
+slices are in flight concurrently — each shard has its own dispatcher
+thread), and scatters the per-shard rows back into the caller's node order.
+Updates fan out to every shard whose closure the delta touches, sequenced
+through each shard's :class:`repro.serving.DeltaLog`, so read-your-writes
+survives sharding: once :meth:`ShardRouter.submit_update` returns, every
+subsequent score on any shard is served at a log prefix that includes the
+delta on that shard.
+
+Construction from one artifact (:meth:`ShardRouter.from_artifact`) plans
+the shards with the artifact's own PPR parameters, then loads one detector
+copy per shard bound to that shard's local graph — the artifact's saved
+subgraph store warm-starts every shard (stores are keyed by global node
+ids, which shard graphs preserve).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.sanitizer import tracked_rlock
+from repro.api import load_detector, read_manifest
+from repro.api.session import validate_edge_additions, validate_feature_rows
+from repro.graph import HeteroGraph
+from repro.serving.cluster.planner import ShardPlan, plan_shards
+from repro.serving.service import DetectionService, ServiceClosed
+
+
+class ClusterRequest:
+    """Fan-out handle: one pending score split across shard sub-requests."""
+
+    __slots__ = ("num_nodes", "_parts", "delta_seqs")
+
+    def __init__(
+        self,
+        num_nodes: int,
+        parts: List[Tuple[int, np.ndarray, "object"]],
+    ) -> None:
+        self.num_nodes = num_nodes
+        #: ``(shard_id, positions, handle)`` triples; ``positions`` are the
+        #: caller-order row indices the shard's rows scatter back into.
+        self._parts = parts
+        #: shard id -> delta-log prefix its slice was served at (filled by
+        #: :meth:`result`).
+        self.delta_seqs: Dict[int, int] = {}
+
+    def result(self, timeout: Optional[float] = 60.0) -> np.ndarray:
+        """Block for every shard slice; rows come back in caller order."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        output: Optional[np.ndarray] = None
+        for shard_id, positions, handle in self._parts:
+            remaining = None if deadline is None else max(deadline - time.monotonic(), 0.0)
+            rows = handle.result(remaining)
+            if output is None:
+                output = np.empty((self.num_nodes, rows.shape[1]), dtype=rows.dtype)
+            output[positions] = rows
+            self.delta_seqs[shard_id] = handle.delta_seq
+        if output is None:
+            output = np.zeros((0, 2))
+        return output
+
+
+class ShardRouter:
+    """Horizontally sharded scoring: N services behind one score/update API."""
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        services: Sequence[DetectionService],
+        *,
+        graph: Optional[HeteroGraph] = None,
+        release_pool_on_close: bool = True,
+    ) -> None:
+        if len(services) != plan.num_shards:
+            raise ValueError(
+                f"plan has {plan.num_shards} shard(s) but {len(services)} "
+                "service(s) were provided"
+            )
+        self.plan = plan
+        self.services = list(services)
+        #: Validation reference for updates (num_nodes / relation names /
+        #: feature width are shard-invariant).  Falls back to shard 0's
+        #: local graph when the planner's source graph wasn't kept.
+        self.graph = graph if graph is not None else plan.shards[0].graph
+        self._release_pool_on_close = release_pool_on_close
+        self._lock = tracked_rlock("ShardRouter._lock")
+        self._closed = False  # guarded-by: _lock
+        self._requests = 0  # guarded-by: _lock
+        self._updates = 0  # guarded-by: _lock
+        self._started_at = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_artifact(
+        cls,
+        path,
+        graph: Optional[HeteroGraph] = None,
+        *,
+        num_shards: int = 2,
+        halo_hops: int = 1,
+        seed: int = 0,
+        verify: bool = True,
+        release_pool_on_close: bool = True,
+        **service_kwargs,
+    ) -> "ShardRouter":
+        """Plan shards for ``graph`` and load one service per shard.
+
+        Without ``graph``, the artifact's dataset provenance is replayed —
+        the same convention as :meth:`DetectionService.from_artifact`.  The
+        shard plan verifies PPR locality with the artifact's own
+        ``ppr_alpha`` / ``ppr_epsilon``, so the halo contract matches what
+        the loaded detectors will actually push.  ``service_kwargs`` pass
+        through to every per-shard :class:`DetectionService` (batching,
+        replay, recording).
+        """
+        manifest = read_manifest(path)
+        if graph is None:
+            dataset = manifest.get("dataset")
+            if not dataset:
+                raise ValueError(
+                    "artifact has no dataset provenance; pass the serving "
+                    "graph explicitly: ShardRouter.from_artifact(path, graph=...)"
+                )
+            from repro.datasets import load_benchmark
+
+            graph = load_benchmark(**dataset).graph
+        config = manifest.get("config", {})
+        plan = plan_shards(
+            graph,
+            num_shards,
+            halo_hops=halo_hops,
+            ppr_alpha=float(config.get("ppr_alpha", 0.15)),
+            ppr_epsilon=float(config.get("ppr_epsilon", 1e-4)),
+            seed=seed,
+            verify=verify,
+        )
+        services: List[DetectionService] = []
+        try:
+            for spec in plan.shards:
+                detector = load_detector(path, graph=spec.graph)
+                services.append(
+                    DetectionService(
+                        detector,
+                        spec.graph,
+                        release_pool_on_close=False,
+                        **service_kwargs,
+                    )
+                )
+        except BaseException:
+            for service in services:
+                service.close(drain=False)
+            raise
+        return cls(
+            plan, services, graph=graph, release_pool_on_close=release_pool_on_close
+        )
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def submit(self, nodes: Sequence[int]) -> ClusterRequest:
+        """Fan a score request out by center ownership; returns the handle.
+
+        Each shard slice preserves the caller's relative node order, so a
+        single-shard request coalesces into its shard's waves exactly like
+        a direct :meth:`DetectionService.submit` would.
+        """
+        array = np.asarray(
+            nodes if isinstance(nodes, np.ndarray) else list(nodes)
+        ).astype(np.int64).ravel()
+        if array.size and (array.min() < 0 or array.max() >= self.graph.num_nodes):
+            raise ValueError("node id out of range for the cluster graph")
+        with self._lock:
+            if self._closed:
+                raise ServiceClosed("cluster router is closed")
+            self._requests += 1
+        parts: List[Tuple[int, np.ndarray, object]] = []
+        if array.size:
+            owners = self.plan.shard_of(array)
+            for shard_id in np.unique(owners):
+                positions = np.flatnonzero(owners == shard_id)
+                handle = self.services[int(shard_id)].submit(array[positions])
+                parts.append((int(shard_id), positions, handle))
+        return ClusterRequest(int(array.size), parts)
+
+    def score(
+        self, nodes: Sequence[int], timeout: Optional[float] = 60.0
+    ) -> np.ndarray:
+        """Bot probabilities for ``nodes`` (blocking fan-out/fan-in)."""
+        return self.submit(nodes).result(timeout)
+
+    # ------------------------------------------------------------------
+    # Streaming updates
+    # ------------------------------------------------------------------
+    def submit_update(
+        self,
+        edges_added: Optional[Mapping[str, Tuple[Iterable[int], Iterable[int]]]] = None,
+        features_changed: Optional[Mapping[int, Iterable[float]]] = None,
+    ) -> Dict[int, int]:
+        """Route a delta to every shard it touches; returns shard -> seq.
+
+        Edge additions go to each shard whose closure contains either
+        endpoint — exactly the shards whose local graphs keep that edge
+        under the closure-incidence invariant.  Feature rows go to *every*
+        shard (each shard owns a full feature copy; rows must stay
+        consistent everywhere a future subgraph might read them).  Each
+        touched shard sequences the delta through its own
+        :class:`repro.serving.DeltaLog`, so scores submitted after this
+        call returns see it on whichever shard serves them.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServiceClosed("cluster router is closed")
+            self._updates += 1
+        # One global validation pass: a bad delta fails here with nothing
+        # enqueued on any shard (no partially-applied fan-out).
+        validated_edges = {
+            relation: (src, dst)
+            for relation, src, dst in validate_edge_additions(self.graph, edges_added)
+            if src.size
+        }
+        validated_features = validate_feature_rows(self.graph, features_changed)
+        sequences: Dict[int, int] = {}
+        for spec, service in zip(self.plan.shards, self.services):
+            shard_edges: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+            for relation, (src, dst) in validated_edges.items():
+                keep = spec.closure_mask[src] | spec.closure_mask[dst]
+                if keep.any():
+                    shard_edges[relation] = (src[keep], dst[keep])
+            if not shard_edges and not validated_features:
+                continue
+            sequences[spec.shard_id] = service.submit_update(
+                edges_added=shard_edges or None,
+                features_changed=validated_features or None,
+            )
+        return sequences
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def drain(self, timeout: Optional[float] = 60.0) -> None:
+        """Block until every shard served its backlog and applied its deltas."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for service in self.services:
+            remaining = None if deadline is None else max(deadline - time.monotonic(), 0.0)
+            service.drain(remaining)
+
+    def close(self, drain: bool = True, timeout: Optional[float] = 60.0) -> None:
+        """Close every shard service, then release the shared pool once.
+
+        Idempotent.  Shard services are constructed with
+        ``release_pool_on_close=False`` — the construction pool and its
+        shared-memory segments are process-global, so the router (the last
+        owner standing) shuts them down exactly once at the end.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        try:
+            for service in self.services:
+                service.close(drain=drain, timeout=timeout)
+        finally:
+            if self._release_pool_on_close:
+                from repro.sampling.biased import shutdown_shared_pool
+
+                shutdown_shared_pool()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def __enter__(self) -> "ShardRouter":
+        with self._lock:
+            if self._closed:
+                raise ServiceClosed("cluster router is closed")
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict[str, object]:
+        """Cheap liveness summary for the HTTP front end."""
+        with self._lock:
+            closed = self._closed
+        return {
+            "status": "closed" if closed else "ok",
+            "num_shards": self.plan.num_shards,
+            "uptime_s": time.monotonic() - self._started_at,
+            "shards": [
+                {"shard_id": spec.shard_id, "closed": service.closed}
+                for spec, service in zip(self.plan.shards, self.services)
+            ],
+        }
+
+    def snapshot(self) -> Dict[str, object]:
+        """Aggregated serving telemetry: cluster totals + per-shard detail."""
+        shard_snapshots = [service.snapshot() for service in self.services]
+        totals: Dict[str, float] = {}
+        for snap in shard_snapshots:
+            for key in (
+                "requests",
+                "nodes_scored",
+                "waves",
+                "wave_nodes",
+                "deltas_enqueued",
+                "deltas_applied",
+                "subgraphs_invalidated",
+                "errors",
+                "replay_hits",
+                "replay_misses",
+            ):
+                totals[key] = totals.get(key, 0) + snap.get(key, 0)
+        with self._lock:
+            router_counters = {
+                "requests": self._requests,
+                "updates": self._updates,
+                "closed": self._closed,
+            }
+        return {
+            "router": {**router_counters, "uptime_s": time.monotonic() - self._started_at},
+            "cluster_totals": totals,
+            "plan": self.plan.stats(),
+            "shards": shard_snapshots,
+        }
+
+    def __repr__(self) -> str:
+        with self._lock:
+            state = "closed" if self._closed else "open"
+        return f"ShardRouter(num_shards={self.plan.num_shards}, {state})"

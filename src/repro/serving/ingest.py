@@ -33,9 +33,11 @@ graph, which is what keeps the log's ordering meaningful.
 
 from __future__ import annotations
 
+import time
+
 from repro.analysis.sanitizer import tracked_rlock
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -63,15 +65,45 @@ class GraphDelta:
 
 
 class DeltaLog:
-    """Thread-safe ordered log of graph deltas awaiting application."""
+    """Thread-safe ordered log of graph deltas awaiting application.
 
-    def __init__(self, graph: HeteroGraph) -> None:
+    ``max_pending`` / ``max_age_s`` configure the **application watermark**:
+    with neither set, :attr:`watermark_due` is true the moment anything is
+    pending (the eager default — the service's idle loop applies deltas
+    immediately).  With either set, idle application is *deferred* — bursts
+    of small deltas coalesce into one ``update_graph`` pass — until the log
+    holds ``max_pending`` entries or the oldest pending delta is
+    ``max_age_s`` old, whichever first.  The watermark only shapes *idle*
+    application: the dispatcher still applies the full pending prefix before
+    every scoring wave (read-your-writes is never deferred), and
+    :meth:`expedite` (called by ``drain``/``close``) forces the watermark
+    due so shutdown never waits out ``max_age_s``.
+    """
+
+    def __init__(
+        self,
+        graph: HeteroGraph,
+        *,
+        max_pending: Optional[int] = None,
+        max_age_s: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_pending is not None and max_pending <= 0:
+            raise ValueError("max_pending must be positive (or None)")
+        if max_age_s is not None and max_age_s < 0:
+            raise ValueError("max_age_s must be non-negative (or None)")
         self.graph = graph
+        self.max_pending = max_pending
+        self.max_age_s = max_age_s
+        self._clock = clock
         self._lock = tracked_rlock("DeltaLog._lock")
         self._pending: List[GraphDelta] = []
         self._next_seq = 0
         self._applied_seq = -1
         self._closed = False
+        #: Enqueue time of the oldest pending delta (None when empty).
+        self._oldest_pending_at: Optional[float] = None
+        self._expedited = False  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # Producer side
@@ -105,6 +137,8 @@ class DeltaLog:
                 raise RuntimeError("delta log is closed")
             delta = GraphDelta(self._next_seq, edges, features)
             self._next_seq += 1
+            if not self._pending:
+                self._oldest_pending_at = self._clock()
             self._pending.append(delta)
             return delta.seq
 
@@ -133,6 +167,36 @@ class DeltaLog:
         with self._lock:
             return len(self._pending)
 
+    @property
+    def watermark_due(self) -> bool:
+        """True when the pending prefix should be applied *now* (idle path).
+
+        Eager (no watermark configured): due whenever anything is pending.
+        Watermarked: due once the size or age bound is hit, or after
+        :meth:`expedite`.
+        """
+        with self._lock:
+            if not self._pending:
+                return False
+            if self._expedited:
+                return True
+            if self.max_pending is None and self.max_age_s is None:
+                return True
+            if self.max_pending is not None and len(self._pending) >= self.max_pending:
+                return True
+            if self.max_age_s is not None and self._oldest_pending_at is not None:
+                return self._clock() - self._oldest_pending_at >= self.max_age_s
+            return False
+
+    def expedite(self) -> None:
+        """Force the watermark due until the pending prefix drains.
+
+        ``drain``/``close`` call this so a watermarked log never makes
+        shutdown wait out ``max_age_s``.
+        """
+        with self._lock:
+            self._expedited = True
+
     def drain(self) -> Optional[GraphDelta]:
         """Pop every pending delta, coalesced into one (``None`` when idle).
 
@@ -143,8 +207,11 @@ class DeltaLog:
         """
         with self._lock:
             if not self._pending:
+                self._expedited = False
                 return None
             drained, self._pending = self._pending, []
+            self._oldest_pending_at = None
+            self._expedited = False
         edges: Dict[str, List[Tuple[np.ndarray, np.ndarray]]] = {}
         features: Dict[int, np.ndarray] = {}
         for delta in drained:

@@ -80,6 +80,9 @@ class DetectionService:
         *,
         max_batch_size: int = 64,
         max_wait_ms: float = 2.0,
+        adaptive_wait: bool = False,
+        delta_max_pending: Optional[int] = None,
+        delta_max_age_s: Optional[float] = None,
         release_pool_on_close: bool = True,
         record_waves: bool = False,
         autostart: bool = True,
@@ -87,11 +90,20 @@ class DetectionService:
     ) -> None:
         # ``use_replay`` passes through to the session's capture-and-replay
         # inference engine (None = the REPRO_REPLAY environment default).
+        # ``delta_max_pending`` / ``delta_max_age_s`` set the delta log's
+        # application watermark (None/None = apply eagerly when idle);
+        # ``adaptive_wait`` arms the batcher's per-wave linger adaptation.
         self.session = DetectionSession(detector, graph, use_replay=use_replay)
         self.detector = detector
         self.graph = graph
-        self.delta_log = DeltaLog(graph)
-        self.batcher = MicroBatcher(max_batch_size=max_batch_size, max_wait_ms=max_wait_ms)
+        self.delta_log = DeltaLog(
+            graph, max_pending=delta_max_pending, max_age_s=delta_max_age_s
+        )
+        self.batcher = MicroBatcher(
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+            adaptive_wait=adaptive_wait,
+        )
         self.metrics = ServingMetrics()
         self.wave_log: Optional[List[Tuple[np.ndarray, np.ndarray, int]]] = (
             [] if record_waves else None
@@ -294,8 +306,12 @@ class DetectionService:
                     break
                 # Idle: apply deltas that arrived with no score traffic
                 # behind them, so pure-update workloads (and drain())
-                # converge without waiting for the next wave.
-                if self.delta_log.pending:
+                # converge without waiting for the next wave.  With a
+                # watermark configured, idle application defers until the
+                # size/age bound (coalescing bursts into one update pass);
+                # pre-wave application and drain()'s expedite still force
+                # the full prefix.
+                if self.delta_log.watermark_due:
                     try:
                         self._apply_pending_deltas()
                     except BaseException as error:  # noqa: BLE001 — stashed
@@ -376,6 +392,9 @@ class DetectionService:
         dispatcher.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
+        # A watermarked log must not make drain wait out max_age_s: force
+        # the watermark due so the dispatcher's idle loop applies now.
+        self.delta_log.expedite()
         if not self._thread.is_alive():
             self._apply_pending_deltas()
         with self._idle:
@@ -481,6 +500,9 @@ class DetectionService:
             "closed": self._closed,
             "max_batch_size": self.batcher.max_batch_size,
             "max_wait_ms": self.batcher.max_wait_s * 1000.0,
+            "current_wait_ms": self.batcher.current_wait_ms,
+            "delta_max_pending": self.delta_log.max_pending,
+            "delta_max_age_s": self.delta_log.max_age_s,
             "pending_requests": self.batcher.pending,
             "pending_deltas": self.delta_log.pending,
             "applied_delta_seq": self.delta_log.applied_seq,

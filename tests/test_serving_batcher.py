@@ -103,6 +103,83 @@ class TestMicroBatcher:
             MicroBatcher(max_wait_ms=-1.0)
 
 
+class TestAdaptiveWait:
+    """Per-wave linger adaptation: full waves shrink it, sparse waves grow it."""
+
+    def _drain_one_wave(self, batcher):
+        wave = batcher.next_wave(poll_timeout=0.5)
+        assert wave
+        return wave
+
+    def test_disabled_by_default_and_wait_stays_fixed(self):
+        batcher = MicroBatcher(max_batch_size=4, max_wait_ms=8.0)
+        assert not batcher.adaptive_wait
+        for _ in range(4):
+            batcher.submit([0])
+        self._drain_one_wave(batcher)
+        assert batcher.current_wait_ms == pytest.approx(8.0)
+
+    def test_full_waves_halve_toward_zero(self):
+        batcher = MicroBatcher(max_batch_size=4, max_wait_ms=8.0, adaptive_wait=True)
+        waits = [batcher.current_wait_ms]
+        for _ in range(3):
+            for _ in range(4):
+                batcher.submit([0])
+            self._drain_one_wave(batcher)
+            waits.append(batcher.current_wait_ms)
+        assert waits == [pytest.approx(w) for w in (8.0, 4.0, 2.0, 1.0)]
+        assert all(w > 0.0 for w in waits)  # approaches 0, never reaches it
+
+    def test_sparse_waves_grow_back_to_the_cap(self):
+        batcher = MicroBatcher(max_batch_size=8, max_wait_ms=8.0, adaptive_wait=True)
+        # Decay first: three full waves.
+        for _ in range(3):
+            for _ in range(8):
+                batcher.submit([0])
+            self._drain_one_wave(batcher)
+        decayed = batcher.current_wait_ms
+        assert decayed == pytest.approx(1.0)
+        # Sparse traffic (single-node waves) doubles back up, capped.
+        for _ in range(6):
+            batcher.submit([0])
+            self._drain_one_wave(batcher)
+        assert batcher.current_wait_ms == pytest.approx(8.0)
+
+    def test_intermediate_wave_leaves_wait_unchanged(self):
+        batcher = MicroBatcher(max_batch_size=8, max_wait_ms=8.0, adaptive_wait=True)
+        for _ in range(8):
+            batcher.submit([0])
+        self._drain_one_wave(batcher)  # full -> halved
+        assert batcher.current_wait_ms == pytest.approx(4.0)
+        # 5 of 8 rows: more than half, less than full — no adjustment.
+        batcher.submit([0, 1, 2, 3, 4])
+        self._drain_one_wave(batcher)
+        assert batcher.current_wait_ms == pytest.approx(4.0)
+
+    def test_growth_recovers_from_deep_decay(self):
+        batcher = MicroBatcher(max_batch_size=2, max_wait_ms=8.0, adaptive_wait=True)
+        # Decay far below the restart floor (max_wait / 64).
+        for _ in range(12):
+            batcher.submit([0, 1])
+            self._drain_one_wave(batcher)
+        assert batcher.current_wait_ms < 8.0 / 64.0
+        batcher.submit([0])
+        self._drain_one_wave(batcher)  # sparse: restarts from the floor
+        assert batcher.current_wait_ms == pytest.approx(2 * 8.0 / 64.0)
+
+    def test_wave_composition_unchanged_by_adaptation(self):
+        # Same submissions, adaptive on/off: the realized waves are the same
+        # FIFO prefixes (the policy moves only the linger deadline, which a
+        # pre-filled queue never reaches).
+        for adaptive in (False, True):
+            batcher = MicroBatcher(
+                max_batch_size=4, max_wait_ms=50.0, adaptive_wait=adaptive
+            )
+            requests = [batcher.submit([0, 1]) for _ in range(3)]
+            assert batcher.next_wave(poll_timeout=0.5) == requests[:2]
+            assert batcher.next_wave(poll_timeout=0.5) == requests[2:]
+
+
 class TestDeltaLog:
     @pytest.fixture()
     def graph(self):

@@ -11,7 +11,7 @@ import pytest
 from repro import api
 from repro.core import BSG4Bot, BSG4BotConfig
 from repro.sampling import biased
-from repro.serving import DetectionService, ServiceClosed
+from repro.serving import DeltaLog, DetectionService, ServiceClosed
 from tests.conftest import make_separable_graph
 
 GRAPH_SEED = 33
@@ -202,6 +202,91 @@ class TestUpdates:
         service.close()
         assert service.delta_log.applied_seq == seq
         np.testing.assert_array_equal(service.graph.features[node], new_row)
+
+
+class TestDeltaWatermark:
+    """Size/age watermark: idle application defers until a bound is hit,
+    so pure-update bursts coalesce — but drain/close/waves still force the
+    full prefix."""
+
+    def test_log_watermark_due_by_count_age_and_expedite(self):
+        clock = [0.0]
+        graph = _make_graph()
+        log = DeltaLog(
+            graph, max_pending=3, max_age_s=10.0, clock=lambda: clock[0]
+        )
+        relation = graph.relation_names[0]
+        assert not log.watermark_due  # empty
+        log.append(edges_added={relation: ([0], [1])})
+        log.append(edges_added={relation: ([1], [2])})
+        assert not log.watermark_due  # 2 < max_pending, age 0 < max_age_s
+        clock[0] = 10.0
+        assert log.watermark_due  # age bound hit
+        clock[0] = 0.0
+        log.append(edges_added={relation: ([2], [3])})
+        assert log.watermark_due  # size bound hit
+        delta = log.drain()
+        assert delta.coalesced == 3 and not log.watermark_due
+        log.append(edges_added={relation: ([3], [4])})
+        assert not log.watermark_due
+        log.expedite()
+        assert log.watermark_due  # forced (drain/close path)
+        log.drain()
+        log.append(edges_added={relation: ([4], [5])})
+        assert not log.watermark_due  # expedite does not outlive the drain
+
+    def test_eager_default_is_due_immediately(self):
+        graph = _make_graph()
+        log = DeltaLog(graph)
+        log.append(features_changed={0: graph.features[0] + 1.0})
+        assert log.watermark_due
+
+    def test_service_defers_pure_updates_until_count_watermark(self, artifact):
+        import time as _time
+
+        with _service(artifact, delta_max_pending=2, delta_max_age_s=60.0) as service:
+            relation = service.graph.relation_names[0]
+            service.submit_update(edges_added={relation: ([0], [1])})
+            # Below both watermarks: the idle dispatcher must NOT apply it.
+            _time.sleep(0.2)
+            assert service.snapshot()["deltas_applied"] == 0
+            assert service.snapshot()["pending_deltas"] == 1
+            # Second delta hits max_pending: both apply as one coalesced pass.
+            service.submit_update(edges_added={relation: ([1], [2])})
+            deadline = _time.monotonic() + 10.0
+            while service.snapshot()["deltas_applied"] < 2:
+                assert _time.monotonic() < deadline, "watermark never fired"
+                _time.sleep(0.01)
+            assert service.snapshot()["pending_deltas"] == 0
+
+    def test_waves_still_apply_deferred_deltas_first(self, artifact):
+        # Read-your-writes is never deferred: a score forces the pending
+        # prefix regardless of the watermark.
+        with _service(artifact, delta_max_pending=100, delta_max_age_s=60.0) as service:
+            node = 7
+            new_row = service.graph.features[node] + 2.0
+            seq = service.submit_update(features_changed={node: new_row.copy()})
+            handle = service.submit([node])
+            handle.result(30.0)
+            assert handle.delta_seq >= seq
+            np.testing.assert_array_equal(service.graph.features[node], new_row)
+
+    def test_drain_expedites_past_the_age_watermark(self, artifact):
+        with _service(artifact, delta_max_pending=100, delta_max_age_s=60.0) as service:
+            node = 3
+            new_row = service.graph.features[node] + 1.0
+            seq = service.submit_update(features_changed={node: new_row.copy()})
+            service.drain(timeout=10.0)  # must not wait out max_age_s
+            assert service.delta_log.applied_seq == seq
+            np.testing.assert_array_equal(service.graph.features[node], new_row)
+
+    def test_close_flushes_watermarked_backlog(self, artifact):
+        service = _service(artifact, delta_max_pending=100, delta_max_age_s=60.0)
+        node = 5
+        new_row = service.graph.features[node] + 1.0
+        seq = service.submit_update(features_changed={node: new_row.copy()})
+        service.close()
+        assert service.delta_log.applied_seq == seq
 
 
 class TestInterleavingProperty:
