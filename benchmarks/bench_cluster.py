@@ -48,6 +48,11 @@ def main() -> None:
     parser.add_argument("--max-batch", type=int, default=64)
     parser.add_argument("--max-wait-ms", type=float, default=6.0)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--dataset", choices=("mgtab", "synthetic"), default="mgtab",
+        help="graph source: bundled mgtab, or the synthetic botnet adapter "
+        "(reaches --users counts the bundled benchmarks cannot)",
+    )
     parser.add_argument("--output", type=Path, default=RESULTS_PATH)
     args = parser.parse_args()
 
@@ -63,6 +68,7 @@ def main() -> None:
         max_wait_ms=args.max_wait_ms,
         seed=args.seed,
         min_scaling=min_scaling,
+        dataset=args.dataset,
     )
     args.output.parent.mkdir(parents=True, exist_ok=True)
     with open(args.output, "w") as handle:

@@ -31,6 +31,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.datasets.adapters import SyntheticBotnetAdapter
 from repro.graph import HeteroGraph
 from repro.ppr import multi_source_ppr
 from repro.sampling import BiasedSubgraphBuilder
@@ -45,21 +46,23 @@ SUBGRAPH_K = 16
 
 
 def synth_graph(num_nodes: int, avg_degree: int, num_relations: int, seed: int) -> HeteroGraph:
-    """Random sparse multi-relation graph with tiny feature/label payloads."""
-    rng = np.random.default_rng(seed)
-    relations = {}
-    for index in range(num_relations):
-        src = rng.integers(0, num_nodes, num_nodes * avg_degree)
-        dst = rng.integers(0, num_nodes, num_nodes * avg_degree)
-        keep = src != dst
-        relations[f"rel{index}"] = (src[keep], dst[keep])
-    return HeteroGraph(
-        num_nodes=num_nodes,
-        features=rng.standard_normal((num_nodes, FEATURE_DIM)),
-        labels=rng.integers(0, 2, num_nodes),
-        relations=relations,
-        name=f"synthetic-{num_nodes}",
+    """Synthetic botnet graph via the dataset adapter (ground-truth labels).
+
+    Backed by :class:`repro.datasets.adapters.SyntheticBotnetAdapter`, so the
+    scale bench exercises the same chunked-ingestion path users hit with
+    ``repro ingest`` — and gets realistic homophily structure instead of the
+    uniform random edges this helper used to draw.
+    """
+    adapter = SyntheticBotnetAdapter(
+        num_users=num_nodes,
+        avg_degree=float(avg_degree),
+        num_relations=num_relations,
+        num_communities=max(4, num_nodes // 50_000),
+        feature_dim=FEATURE_DIM - 8,
+        temporal_dim=8,
+        seed=seed,
     )
+    return adapter.ingest()
 
 
 def measure_residual_memory(num_nodes: int, avg_degree: int) -> dict:
@@ -67,7 +70,7 @@ def measure_residual_memory(num_nodes: int, avg_degree: int) -> dict:
     ladder = []
     for n in (num_nodes // 4, num_nodes // 2, num_nodes):
         graph = synth_graph(n, avg_degree, num_relations=1, seed=11)
-        adjacency = graph.relation("rel0").adjacency()
+        adjacency = graph.relation(graph.relation_names[0]).adjacency()
         adjacency = (adjacency + adjacency.T).tocsr()
         sources = np.arange(NUM_SOURCES)
         entry = {"num_nodes": n}

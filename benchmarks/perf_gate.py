@@ -2,7 +2,8 @@
 
 Runs small, deterministic micro-benchmarks over the engine's hot paths —
 flat collation, the PPR sweep (dense / column-sparse / sparse-frontier), a
-batched subgraph build, the capture-and-replay model forward, and the
+batched subgraph build, the capture-and-replay model forward, dataset
+adapter ingestion (chunked throughput + cache warm start), and the
 sharded cluster router's throughput scaling — then gates two ways:
 
 * **Absolute bounds** (always): compare against ``benchmarks/thresholds.json``.
@@ -46,6 +47,11 @@ from repro.ppr import multi_source_ppr
 from repro.sampling import BiasedSubgraphBuilder, collate_many, collate_subgraphs
 from repro.tensor import softmax
 from repro.tensor.replay import ReplayEngine
+
+try:  # package import (pytest adds the repo root to sys.path)
+    from benchmarks.bench_ingest import gate_metrics as ingest_gate_metrics
+except ImportError:  # script import (sys.path[0] is benchmarks/)
+    from bench_ingest import gate_metrics as ingest_gate_metrics
 
 RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_perfgate.json"
 THRESHOLDS_PATH = Path(__file__).parent / "thresholds.json"
@@ -236,6 +242,9 @@ def run(output_path: Path = RESULTS_PATH) -> dict:
         **bench_collation(graph, store),
         **bench_model_forward(graph, store),
         **bench_ppr(),
+        # Chunked ingestion throughput + content-addressed cache warm start
+        # (asserts synthetic regeneration determinism internally).
+        **ingest_gate_metrics(),
         # Last: its teardown shuts the shared construction pool down.
         **bench_cluster_scaling(),
     }

@@ -61,6 +61,7 @@ GUARDED_CLASSES: Dict[str, Tuple[str, Tuple[str, ...]]] = {
     ),
     "ShardRouter": ("_lock", ("_closed", "_requests", "_updates")),
     "ClusterHTTPServer": ("_lock", ("_inflight", "_rejected")),
+    "IngestCache": ("_lock", ("_memo",)),
     "ServingMetrics": ("_lock", ("_counters",)),
     "LatencyHistogram": ("_lock", ("_counts", "_sum", "_min", "_max")),
 }

@@ -108,9 +108,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     fit_parser = subparsers.add_parser(
-        "fit", help="train a detector on a synthetic benchmark and save the artifact"
+        "fit", help="train a detector on a benchmark or a dataset spec, save the artifact"
     )
-    fit_parser.add_argument("benchmark", choices=_BENCHMARK_NAMES)
+    fit_parser.add_argument(
+        "benchmark", nargs="?", choices=_BENCHMARK_NAMES, default=None,
+        help="bundled synthetic benchmark (alternative: --dataset)",
+    )
+    fit_parser.add_argument(
+        "--dataset", default=None, metavar="SPEC",
+        help="train on a dataset spec (.yaml/.json) instead of a bundled benchmark",
+    )
+    fit_parser.add_argument(
+        "--test", action="store_true",
+        help="with --dataset: ingest only the spec's test_sample node cap",
+    )
     fit_parser.add_argument("--output", required=True, metavar="DIR", help="artifact directory")
     fit_parser.add_argument("--detector", default="bsg4bot",
                             help="registry name (see 'repro detectors')")
@@ -128,7 +139,33 @@ def build_parser() -> argparse.ArgumentParser:
     score_parser.add_argument("artifact", help="artifact directory written by 'repro fit'")
     score_parser.add_argument(
         "--nodes", type=_parse_nodes, default=None, metavar="N,N,...",
-        help="node ids to score (default: the benchmark's test split)",
+        help="node ids to score (default: the dataset's test split)",
+    )
+    score_parser.add_argument(
+        "--dataset", default=None, metavar="SPEC",
+        help="rebuild the graph from this spec instead of the artifact's provenance "
+        "(must describe the same graph shape)",
+    )
+
+    ingest_parser = subparsers.add_parser(
+        "ingest", help="ingest a dataset spec into a graph and print its statistics"
+    )
+    ingest_parser.add_argument("spec", help="dataset spec file (.yaml/.json)")
+    ingest_parser.add_argument(
+        "--test", action="store_true",
+        help="cap ingestion at the spec's test_sample for fast iteration",
+    )
+    ingest_parser.add_argument(
+        "--chunk-size", type=int, default=None, metavar="N",
+        help="rows per streamed chunk (default: the adapter's)",
+    )
+    ingest_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk ingest cache",
+    )
+    ingest_parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print machine-readable JSON instead of text",
     )
 
     serve_parser = subparsers.add_parser(
@@ -236,6 +273,49 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_ingest(args) -> int:
+    from repro.datasets.adapters import AdapterError, ingest_spec
+
+    try:
+        result = ingest_spec(
+            args.spec,
+            test=args.test,
+            chunk_size=args.chunk_size,
+            use_cache=not args.no_cache,
+        )
+    except AdapterError as exc:
+        raise SystemExit(f"ingest failed: {exc}") from None
+    graph = result.graph
+    stats = {
+        "name": graph.name,
+        "adapter": result.spec.adapter,
+        "num_nodes": graph.num_nodes,
+        "num_features": graph.num_features,
+        "num_edges": graph.num_edges,
+        "relations": {
+            name: graph.relation(name).num_edges for name in graph.relation_names
+        },
+        "class_counts": {str(k): v for k, v in graph.class_counts().items()},
+        "dropped_edges": graph.metadata.get("dropped_edges", 0),
+        "fingerprint": result.fingerprint,
+        "cache_hit": result.cache_hit,
+        "elapsed_s": round(result.elapsed_s, 4),
+        "test": bool(args.test),
+    }
+    if args.as_json:
+        print(json.dumps(stats, indent=2))
+        return 0
+    print(f"{stats['name']}: {stats['num_nodes']} nodes x {stats['num_features']} features, "
+          f"{stats['num_edges']} edges")
+    for name, count in stats["relations"].items():
+        print(f"  relation {name}: {count} edges")
+    print(f"  classes: {stats['class_counts']}   dropped edges: {stats['dropped_edges']}")
+    print(f"  fingerprint: {stats['fingerprint']}")
+    source = "cache hit" if result.cache_hit else "fresh ingest"
+    print(f"  {source} in {stats['elapsed_s']}s")
+    return 0
+
+
 def _cmd_fit(args) -> int:
     # Fail before training, not after: only BSG4Bot artifacts are
     # persistable today, and a detector that cannot be saved would waste the
@@ -246,15 +326,40 @@ def _cmd_fit(args) -> int:
             "support yet (only 'bsg4bot'); train other detectors "
             "programmatically via repro.api.create_detector"
         )
+    if (args.benchmark is None) == (args.dataset is None):
+        raise SystemExit(
+            "'repro fit' needs exactly one data source: either a bundled "
+            f"benchmark name ({', '.join(_BENCHMARK_NAMES)}) or --dataset SPEC"
+        )
+    if args.test and args.dataset is None:
+        raise SystemExit("--test only applies to --dataset specs")
     scale = _SCALES[args.scale]
-    dataset: Dict[str, object] = {
-        "name": args.benchmark,
-        "num_users": scale.users_for(args.benchmark),
-        "tweets_per_user": scale.tweets_per_user,
-        "seed": args.seed,
-    }
-    print(f"Building {args.benchmark} benchmark ({dataset['num_users']} users)...")
-    benchmark = load_benchmark(**dataset)
+    if args.dataset is not None:
+        from repro.datasets.adapters import AdapterError, ingest_spec
+
+        try:
+            result = ingest_spec(args.dataset, test=args.test)
+        except AdapterError as exc:
+            raise SystemExit(f"ingest failed: {exc}") from None
+        graph = result.graph
+        dataset: Dict[str, object] = {
+            "spec": result.spec.to_dict(),
+            "test": bool(args.test),
+        }
+        print(
+            f"Ingested {graph.name}: {graph.num_nodes} nodes, "
+            f"{graph.num_edges} edges ({'cache hit' if result.cache_hit else 'fresh'}, "
+            f"fingerprint {result.fingerprint[:12]})"
+        )
+    else:
+        dataset = {
+            "name": args.benchmark,
+            "num_users": scale.users_for(args.benchmark),
+            "tweets_per_user": scale.tweets_per_user,
+            "seed": args.seed,
+        }
+        print(f"Building {args.benchmark} benchmark ({dataset['num_users']} users)...")
+        graph = load_benchmark(**dataset).graph
     detector = api.create_detector(
         {
             "name": args.detector,
@@ -264,8 +369,8 @@ def _cmd_fit(args) -> int:
         }
     )
     print(f"Training {args.detector}...")
-    history = detector.fit(benchmark.graph)
-    metrics = detector.evaluate(benchmark.graph)
+    history = detector.fit(graph)
+    metrics = detector.evaluate(graph)
     print(
         f"  {history.num_epochs} epochs ({history.total_time:.1f}s)   "
         f"test accuracy = {metrics['accuracy']:.2f}   test F1 = {metrics['f1']:.2f}"
@@ -276,19 +381,27 @@ def _cmd_fit(args) -> int:
 
 
 def _cmd_score(args) -> int:
+    from repro.datasets.adapters import AdapterError, ingest_spec, resolve_dataset_graph
+
     manifest = api.read_manifest(args.artifact)
-    dataset = manifest.get("dataset")
-    if not dataset:
-        raise SystemExit(
-            "artifact has no dataset provenance; score it programmatically via "
-            "repro.api.load_detector(path, graph=...)"
-        )
-    benchmark = load_benchmark(**dataset)
-    detector = api.load_detector(args.artifact, graph=benchmark.graph)
-    nodes = args.nodes if args.nodes is not None else benchmark.graph.test_indices().tolist()
-    with api.DetectionSession(detector, benchmark.graph) as session:
+    try:
+        if args.dataset is not None:
+            graph = ingest_spec(args.dataset, test=bool(manifest.get("dataset", {}).get("test"))).graph
+        else:
+            dataset = manifest.get("dataset")
+            if not dataset:
+                raise SystemExit(
+                    "artifact has no dataset provenance; pass --dataset SPEC or score "
+                    "programmatically via repro.api.load_detector(path, graph=...)"
+                )
+            graph = resolve_dataset_graph(dataset)
+    except AdapterError as exc:
+        raise SystemExit(f"ingest failed: {exc}") from None
+    detector = api.load_detector(args.artifact, graph=graph)
+    nodes = args.nodes if args.nodes is not None else graph.test_indices().tolist()
+    with api.DetectionSession(detector, graph) as session:
         probabilities = session.score_nodes(nodes)
-    labels = benchmark.graph.labels
+    labels = graph.labels
     print(f"{'node':>8}  {'p(bot)':>8}  {'verdict':<7}  truth")
     for node, row in zip(nodes, probabilities):
         verdict = "bot" if row[1] >= 0.5 else "human"
@@ -402,6 +515,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "report":
         print(render_results_dir(args.results_dir, args.experiments))
         return 0
+
+    if args.command == "ingest":
+        return _cmd_ingest(args)
 
     if args.command == "fit":
         return _cmd_fit(args)

@@ -25,8 +25,32 @@ from repro.datasets.benchmarks import (
 from repro.datasets.users import TweetRecord, UserRecord, UserSimulator
 from repro.datasets.network import NetworkConfig, generate_relations
 from repro.datasets.splits import split_masks, subsample_train_mask
+from repro.datasets.adapters import (
+    AdapterError,
+    DatasetAdapter,
+    DatasetSpec,
+    SyntheticBotnetAdapter,
+    available_adapters,
+    create_adapter,
+    graph_fingerprint,
+    ingest_spec,
+    load_dataset_spec,
+    register_adapter,
+    resolve_dataset_graph,
+)
 
 __all__ = [
+    "AdapterError",
+    "DatasetAdapter",
+    "DatasetSpec",
+    "SyntheticBotnetAdapter",
+    "available_adapters",
+    "create_adapter",
+    "graph_fingerprint",
+    "ingest_spec",
+    "load_dataset_spec",
+    "register_adapter",
+    "resolve_dataset_graph",
     "BotBenchmark",
     "twibot20",
     "twibot22",

@@ -1,0 +1,60 @@
+"""Pluggable dataset adapters: stream external graphs into ``HeteroGraph``.
+
+See :mod:`repro.datasets.adapters.base` for the chunked-ingestion contract
+and :mod:`repro.datasets.adapters.spec` for the declarative ``spec.yaml``
+format consumed by ``repro ingest / fit --dataset / score --dataset``.
+"""
+
+from repro.datasets.adapters.base import (
+    ADAPTERS,
+    AdapterError,
+    AdapterRegistry,
+    DatasetAdapter,
+    EdgeChunk,
+    NodeChunk,
+    SplitPolicy,
+    available_adapters,
+    create_adapter,
+    graph_fingerprint,
+    register_adapter,
+)
+from repro.datasets.adapters.cache import CACHE_VERSION, IngestCache, cache_key
+from repro.datasets.adapters.follower import FollowerExportAdapter
+from repro.datasets.adapters.spec import (
+    CACHE_ENV,
+    DatasetSpec,
+    IngestResult,
+    ingest_spec,
+    load_dataset_spec,
+    resolve_dataset_graph,
+)
+from repro.datasets.adapters.synthetic import SyntheticBotnetAdapter, synthetic_graph
+from repro.datasets.adapters.tabular import CSVEdgeListAdapter, JSONLEdgeListAdapter
+
+__all__ = [
+    "ADAPTERS",
+    "AdapterError",
+    "AdapterRegistry",
+    "CACHE_ENV",
+    "CACHE_VERSION",
+    "CSVEdgeListAdapter",
+    "DatasetAdapter",
+    "DatasetSpec",
+    "EdgeChunk",
+    "FollowerExportAdapter",
+    "IngestCache",
+    "IngestResult",
+    "JSONLEdgeListAdapter",
+    "NodeChunk",
+    "SplitPolicy",
+    "SyntheticBotnetAdapter",
+    "available_adapters",
+    "cache_key",
+    "create_adapter",
+    "graph_fingerprint",
+    "ingest_spec",
+    "load_dataset_spec",
+    "register_adapter",
+    "resolve_dataset_graph",
+    "synthetic_graph",
+]

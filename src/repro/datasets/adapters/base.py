@@ -1,0 +1,548 @@
+"""Dataset adapter base: stream external graphs into :class:`HeteroGraph`.
+
+Every adapter turns one external data source — CSV/JSONL edge lists, an
+exported follower graph, a synthetic generator — into the repo's native
+:class:`repro.graph.HeteroGraph` through a single chunked-ingestion
+contract:
+
+* :meth:`DatasetAdapter.iter_node_chunks` yields :class:`NodeChunk`\\ s
+  (external ids, feature rows, labels) in a **deterministic order that does
+  not depend on the chunk size**;
+* :meth:`DatasetAdapter.iter_edge_chunks` yields :class:`EdgeChunk`\\ s
+  referencing nodes by their external ids.
+
+The base class owns the assembly: :meth:`DatasetAdapter.ingest` is the
+chunked fast path (incremental id mapping, per-chunk feature blocks,
+streaming edge remap — node payloads never have to fit in one Python list),
+and :meth:`DatasetAdapter.ingest_oneshot` is the obviously-correct reference
+that materializes the whole stream first.  The two must agree
+**bit-for-bit** — the same oracle discipline as the PPR frontier and the
+collation pack (ROADMAP "Invariants to preserve"); the equivalence is
+asserted per adapter in ``tests/test_dataset_adapters.py`` via
+:func:`graph_fingerprint`.
+
+Adapters register in :data:`ADAPTERS` (mirroring
+:class:`repro.api.DetectorRegistry`) and are constructed from plain config
+dicts — the same dicts a ``spec.yaml`` carries::
+
+    adapter = create_adapter({"adapter": "csv", "nodes": "nodes.csv",
+                              "edges": "edges.csv"})
+    graph = adapter.ingest()
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.datasets.splits import split_masks
+from repro.graph import HeteroGraph
+
+
+class AdapterError(ValueError):
+    """Malformed source data or a bad adapter configuration.
+
+    Every rejection an adapter performs — missing columns, dangling edge
+    endpoints, duplicate node ids or labels, inconsistent feature widths —
+    raises this one type with a message naming the offending record, so
+    callers (CLI, CI matrix legs) can distinguish "your data is broken"
+    from a genuine bug.
+    """
+
+
+@dataclass
+class NodeChunk:
+    """One streamed block of nodes: external ids, feature rows, labels."""
+
+    ids: List[object]
+    features: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.features = np.asarray(self.features, dtype=np.float64)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if self.features.ndim != 2:
+            raise AdapterError("node chunk features must be a 2-d array")
+        if len(self.ids) != self.features.shape[0] or len(self.ids) != self.labels.shape[0]:
+            raise AdapterError("node chunk ids/features/labels lengths disagree")
+
+
+@dataclass
+class EdgeChunk:
+    """One streamed block of directed edges for a single relation."""
+
+    relation: str
+    src: List[object]
+    dst: List[object]
+
+    def __post_init__(self) -> None:
+        if len(self.src) != len(self.dst):
+            raise AdapterError(
+                f"edge chunk for relation {self.relation!r} has "
+                f"{len(self.src)} sources but {len(self.dst)} destinations"
+            )
+
+
+@dataclass
+class SplitPolicy:
+    """Declarative train/val/test split applied at ingest time."""
+
+    train_fraction: float = 0.6
+    val_fraction: float = 0.2
+    seed: int = 0
+    stratify: bool = True
+
+    def masks(self, labels: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return split_masks(
+            labels.shape[0],
+            train_fraction=self.train_fraction,
+            val_fraction=self.val_fraction,
+            seed=self.seed,
+            labels=labels if self.stratify else None,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "train_fraction": self.train_fraction,
+            "val_fraction": self.val_fraction,
+            "seed": self.seed,
+            "stratify": self.stratify,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Optional[Dict[str, object]]) -> "SplitPolicy":
+        data = dict(data or {})
+        unknown = sorted(set(data) - {"train_fraction", "val_fraction", "seed", "stratify"})
+        if unknown:
+            raise AdapterError(f"unknown split key(s) {unknown}")
+        return cls(**data)  # type: ignore[arg-type]
+
+
+class _ChunkedAssembler:
+    """Incremental graph assembly: the state behind the chunked fast path.
+
+    External ids map to dense indices in first-seen order; feature blocks
+    stay per-chunk until one final concatenate; edges remap per chunk so a
+    dangling endpoint fails (or drops) as soon as it streams past, not at
+    the end of a multi-gigabyte file.
+    """
+
+    def __init__(self, drop_dangling: bool, max_nodes: Optional[int]) -> None:
+        self.drop_dangling = drop_dangling
+        self.max_nodes = max_nodes
+        self.id_index: Dict[object, int] = {}
+        self.feature_blocks: List[np.ndarray] = []
+        self.label_blocks: List[np.ndarray] = []
+        self.edges: Dict[str, Tuple[List[np.ndarray], List[np.ndarray]]] = {}
+        self.dropped_edges = 0
+        self.full = False
+        self._width: Optional[int] = None
+        # True while every external id seen so far is exactly its own dense
+        # index (0, 1, 2, ...).  Generators like the synthetic adapter emit
+        # such ids, and then edge remapping is the identity — a vectorized
+        # bounds check replaces the per-endpoint dict lookup.  Values and
+        # dtypes are unchanged, so the one-shot oracle still holds.
+        self._dense = True
+
+    # -- nodes ----------------------------------------------------------
+    def add_nodes(self, chunk: NodeChunk) -> None:
+        if self.full:
+            return
+        ids, features, labels = chunk.ids, chunk.features, chunk.labels
+        if self.max_nodes is not None:
+            room = self.max_nodes - len(self.id_index)
+            if room <= 0:
+                self.full = True
+                return
+            if len(ids) > room:
+                ids, features, labels = ids[:room], features[:room], labels[:room]
+                self.full = True
+        if self._width is None:
+            self._width = features.shape[1]
+        elif features.shape[1] != self._width:
+            raise AdapterError(
+                f"inconsistent feature width: chunk has {features.shape[1]} "
+                f"columns, earlier chunks had {self._width}"
+            )
+        base = len(self.id_index)
+        for offset, node_id in enumerate(ids):
+            if node_id in self.id_index:
+                raise AdapterError(f"duplicate node id {node_id!r}")
+            if self._dense and not (
+                isinstance(node_id, (int, np.integer)) and int(node_id) == base + offset
+            ):
+                self._dense = False
+            self.id_index[node_id] = base + offset
+        self.feature_blocks.append(features)
+        self.label_blocks.append(labels)
+
+    # -- edges ----------------------------------------------------------
+    def add_edges(self, chunk: EdgeChunk) -> None:
+        if self._dense:
+            src_arr = np.asarray(chunk.src)
+            dst_arr = np.asarray(chunk.dst)
+            if src_arr.dtype.kind in "iu" and dst_arr.dtype.kind in "iu":
+                self._add_edges_dense(
+                    chunk.relation,
+                    src_arr.astype(np.int64, copy=False),
+                    dst_arr.astype(np.int64, copy=False),
+                )
+                return
+        try:
+            src = [self.id_index[v] for v in chunk.src]
+            dst = [self.id_index[v] for v in chunk.dst]
+        except KeyError:
+            if not self.drop_dangling:
+                bad = next(
+                    v for v in list(chunk.src) + list(chunk.dst) if v not in self.id_index
+                )
+                raise AdapterError(
+                    f"dangling edge endpoint {bad!r} in relation "
+                    f"{chunk.relation!r}: no such node id"
+                ) from None
+            kept = [
+                (s, d)
+                for s, d in zip(chunk.src, chunk.dst)
+                if s in self.id_index and d in self.id_index
+            ]
+            self.dropped_edges += len(chunk.src) - len(kept)
+            src = [self.id_index[s] for s, _ in kept]
+            dst = [self.id_index[d] for _, d in kept]
+        if chunk.relation not in self.edges:
+            self.edges[chunk.relation] = ([], [])
+        src_blocks, dst_blocks = self.edges[chunk.relation]
+        src_blocks.append(np.asarray(src, dtype=np.int64))
+        dst_blocks.append(np.asarray(dst, dtype=np.int64))
+
+    def _add_edges_dense(
+        self, relation: str, src: np.ndarray, dst: np.ndarray
+    ) -> None:
+        num_nodes = len(self.id_index)
+        valid = (src >= 0) & (src < num_nodes) & (dst >= 0) & (dst < num_nodes)
+        if not valid.all():
+            if not self.drop_dangling:
+                bad_src = src[(src < 0) | (src >= num_nodes)]
+                bad = int(bad_src[0]) if bad_src.size else int(
+                    dst[(dst < 0) | (dst >= num_nodes)][0]
+                )
+                raise AdapterError(
+                    f"dangling edge endpoint {bad!r} in relation "
+                    f"{relation!r}: no such node id"
+                )
+            self.dropped_edges += int((~valid).sum())
+            src = src[valid]
+            dst = dst[valid]
+        if relation not in self.edges:
+            self.edges[relation] = ([], [])
+        src_blocks, dst_blocks = self.edges[relation]
+        src_blocks.append(src)
+        dst_blocks.append(dst)
+
+    # -- finish ---------------------------------------------------------
+    def finish(
+        self, name: str, split: SplitPolicy, metadata: Dict[str, object]
+    ) -> HeteroGraph:
+        if not self.feature_blocks:
+            raise AdapterError("adapter produced no nodes")
+        features = np.concatenate(self.feature_blocks, axis=0)
+        labels = np.concatenate(self.label_blocks, axis=0)
+        relations = {
+            relation: (np.concatenate(srcs), np.concatenate(dsts))
+            for relation, (srcs, dsts) in self.edges.items()
+        }
+        train_mask, val_mask, test_mask = split.masks(labels)
+        metadata = dict(metadata)
+        metadata["dropped_edges"] = self.dropped_edges
+        return HeteroGraph(
+            num_nodes=features.shape[0],
+            features=features,
+            labels=labels,
+            relations=relations,
+            train_mask=train_mask,
+            val_mask=val_mask,
+            test_mask=test_mask,
+            name=name,
+            metadata=metadata,
+        )
+
+
+class DatasetAdapter:
+    """Base class: subclasses stream chunks, the base assembles graphs."""
+
+    #: Registry name; subclasses override.
+    name = "abstract"
+    #: Config keys whose values are filesystem paths — a spec loader
+    #: resolves these relative to the spec file, and the ingest cache
+    #: digests the files behind them for its content-addressed key.
+    PATH_PARAMS: Tuple[str, ...] = ()
+    #: Default rows per streamed chunk.
+    default_chunk_size = 4096
+
+    def __init__(
+        self,
+        split: Optional[SplitPolicy] = None,
+        max_nodes: Optional[int] = None,
+        drop_dangling: Optional[bool] = None,
+    ) -> None:
+        self.split = split or SplitPolicy()
+        if max_nodes is not None and int(max_nodes) <= 0:
+            raise AdapterError("max_nodes must be positive")
+        self.max_nodes = int(max_nodes) if max_nodes is not None else None
+        # A capped sample necessarily severs edges that point past the cap;
+        # dropping them is the documented --test semantics.  Uncapped
+        # ingestion keeps the strict default: a dangling endpoint is an
+        # error unless the adapter config opts out explicitly.
+        if drop_dangling is None:
+            drop_dangling = self.max_nodes is not None
+        self.drop_dangling = bool(drop_dangling)
+
+    # -- subclass contract ----------------------------------------------
+    def iter_node_chunks(self, chunk_size: int) -> Iterator[NodeChunk]:
+        raise NotImplementedError
+
+    def iter_edge_chunks(self, chunk_size: int) -> Iterator[EdgeChunk]:
+        raise NotImplementedError
+
+    def graph_name(self) -> str:
+        return self.name
+
+    def metadata(self) -> Dict[str, object]:
+        """JSON-safe provenance recorded on the ingested graph."""
+        return {"adapter": self.name}
+
+    def source_files(self) -> List[Path]:
+        """Files whose contents parameterize this adapter (cache keying)."""
+        return []
+
+    # -- ingestion ------------------------------------------------------
+    def ingest(self, chunk_size: Optional[int] = None) -> HeteroGraph:  # oracle: ingest_oneshot
+        """Chunked streaming ingestion (the fast path).
+
+        Nodes stream first (building the external-id -> dense-index map
+        incrementally), then edges remap chunk by chunk.  Bit-identical to
+        :meth:`ingest_oneshot` for every chunk size — chunking may change
+        peak memory, never a single output bit.
+        """
+        chunk = int(chunk_size) if chunk_size else self.default_chunk_size
+        if chunk <= 0:
+            raise AdapterError("chunk_size must be positive")
+        assembler = _ChunkedAssembler(self.drop_dangling, self.max_nodes)
+        for node_chunk in self.iter_node_chunks(chunk):
+            assembler.add_nodes(node_chunk)
+            if assembler.full:
+                break
+        for edge_chunk in self.iter_edge_chunks(chunk):
+            assembler.add_edges(edge_chunk)
+        return assembler.finish(self.graph_name(), self.split, self.metadata())
+
+    def ingest_oneshot(self) -> HeteroGraph:
+        """Reference one-shot construction (the ingestion oracle).
+
+        Materializes the entire node and edge stream into flat Python
+        lists, then builds every array in one pass — obviously correct and
+        memory-hungry.  :meth:`ingest` must reproduce its output
+        bit-for-bit; ``tests/test_dataset_adapters.py`` compares the two
+        through :func:`graph_fingerprint` for every adapter.
+        """
+        chunk = self.default_chunk_size
+        ids: List[object] = []
+        feature_rows: List[np.ndarray] = []
+        label_values: List[int] = []
+        for node_chunk in self.iter_node_chunks(chunk):
+            for offset, node_id in enumerate(node_chunk.ids):
+                ids.append(node_id)
+                feature_rows.append(node_chunk.features[offset])
+                label_values.append(int(node_chunk.labels[offset]))
+        if self.max_nodes is not None:
+            ids = ids[: self.max_nodes]
+            feature_rows = feature_rows[: self.max_nodes]
+            label_values = label_values[: self.max_nodes]
+        index: Dict[object, int] = {}
+        for position, node_id in enumerate(ids):
+            if node_id in index:
+                raise AdapterError(f"duplicate node id {node_id!r}")
+            index[node_id] = position
+        if not ids:
+            raise AdapterError("adapter produced no nodes")
+        widths = {row.shape[0] for row in feature_rows}
+        if len(widths) > 1:
+            raise AdapterError(
+                f"inconsistent feature width: chunk has {max(widths)} "
+                f"columns, earlier chunks had {min(widths)}"
+            )
+        dropped = 0
+        relations: Dict[str, Tuple[List[int], List[int]]] = {}
+        for edge_chunk in self.iter_edge_chunks(chunk):
+            src_list, dst_list = relations.setdefault(edge_chunk.relation, ([], []))
+            for s, d in zip(edge_chunk.src, edge_chunk.dst):
+                if s not in index or d not in index:
+                    if self.drop_dangling:
+                        dropped += 1
+                        continue
+                    bad = s if s not in index else d
+                    raise AdapterError(
+                        f"dangling edge endpoint {bad!r} in relation "
+                        f"{edge_chunk.relation!r}: no such node id"
+                    )
+                src_list.append(index[s])
+                dst_list.append(index[d])
+        features = np.asarray(feature_rows, dtype=np.float64)
+        labels = np.asarray(label_values, dtype=np.int64)
+        train_mask, val_mask, test_mask = self.split.masks(labels)
+        metadata = dict(self.metadata())
+        metadata["dropped_edges"] = dropped
+        return HeteroGraph(
+            num_nodes=features.shape[0],
+            features=features,
+            labels=labels,
+            relations={
+                name: (
+                    np.asarray(srcs, dtype=np.int64),
+                    np.asarray(dsts, dtype=np.int64),
+                )
+                for name, (srcs, dsts) in relations.items()
+            },
+            train_mask=train_mask,
+            val_mask=val_mask,
+            test_mask=test_mask,
+            name=self.graph_name(),
+            metadata=metadata,
+        )
+
+
+def graph_fingerprint(graph: HeteroGraph) -> str:
+    """Content hash of everything that defines an ingested graph.
+
+    Covers node count, features, labels, the three split masks, and every
+    relation's edge arrays in relation order — two graphs with the same
+    fingerprint are bit-identical inputs for training and scoring.  The CI
+    dataset matrix uses this to prove seed-deterministic regeneration of
+    the synthetic adapter, and the adapter tests use it for the
+    chunked-vs-one-shot oracle comparison.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"n={graph.num_nodes};d={graph.num_features}".encode())
+    digest.update(np.ascontiguousarray(graph.features).tobytes())
+    digest.update(np.ascontiguousarray(graph.labels).tobytes())
+    for mask in (graph.train_mask, graph.val_mask, graph.test_mask):
+        digest.update(np.ascontiguousarray(mask).astype(np.uint8).tobytes())
+    for name in graph.relation_names:
+        relation = graph.relation(name)
+        digest.update(name.encode())
+        digest.update(np.ascontiguousarray(relation.src).tobytes())
+        digest.update(np.ascontiguousarray(relation.dst).tobytes())
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Registry (mirrors repro.api.DetectorRegistry)
+# ----------------------------------------------------------------------
+
+#: A builder receives the validated params dict (spec minus the reserved
+#: keys) and returns a fresh adapter instance.
+AdapterBuilder = Callable[[dict], DatasetAdapter]
+
+#: Keys of an adapter spec dict that the registry itself consumes.
+_RESERVED_KEYS = frozenset({"adapter"})
+
+
+class AdapterRegistry:
+    """Name -> builder mapping with decorator registration."""
+
+    def __init__(self) -> None:
+        self._builders: Dict[str, AdapterBuilder] = {}
+        self._path_params: Dict[str, Tuple[str, ...]] = {}
+
+    def register(
+        self,
+        name: str,
+        *,
+        replace: bool = False,
+        path_params: Sequence[str] = (),
+    ) -> Callable[[AdapterBuilder], AdapterBuilder]:
+        """Decorator registering a builder under ``name`` (case-insensitive).
+
+        ``path_params`` names the config keys whose values are filesystem
+        paths; the spec loader resolves those relative to the spec file.
+        """
+        key = name.lower()
+
+        def decorator(builder: AdapterBuilder) -> AdapterBuilder:
+            if key in self._builders and not replace:
+                raise ValueError(f"adapter {key!r} is already registered")
+            self._builders[key] = builder
+            self._path_params[key] = tuple(path_params)
+            return builder
+
+        return decorator
+
+    def path_params(self, name: str) -> Tuple[str, ...]:
+        return self._path_params.get(name.lower(), ())
+
+    def names(self) -> List[str]:
+        return list(self._builders)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._builders
+
+    def create(self, spec: Union[str, dict]) -> DatasetAdapter:
+        """Build an adapter from a name or an ``{"adapter": ..., ...}`` dict."""
+        if isinstance(spec, str):
+            spec = {"adapter": spec}
+        if not isinstance(spec, dict):
+            raise TypeError(
+                f"spec must be an adapter name or dict, got {type(spec).__name__}"
+            )
+        if "adapter" not in spec:
+            raise AdapterError("adapter spec requires an 'adapter' key")
+        key = str(spec["adapter"]).lower()
+        if key not in self._builders:
+            raise KeyError(f"unknown adapter {key!r}; options: {self.names()}")
+        params = {k: v for k, v in spec.items() if k not in _RESERVED_KEYS}
+        return self._builders[key](params)
+
+
+#: The default registry used by :func:`create_adapter`, the spec loader
+#: and the CLI.
+ADAPTERS = AdapterRegistry()
+
+register_adapter = ADAPTERS.register
+
+
+def create_adapter(spec: Union[str, dict]) -> DatasetAdapter:
+    """Build an adapter from the default registry (see module docstring)."""
+    return ADAPTERS.create(spec)
+
+
+def available_adapters() -> List[str]:
+    """Names accepted by :func:`create_adapter` and ``spec.yaml``."""
+    return ADAPTERS.names()
+
+
+def _pop_common(params: dict) -> dict:
+    """Extract the base-class kwargs every adapter accepts from a spec."""
+    common = {}
+    if "split" in params:
+        common["split"] = SplitPolicy.from_dict(params.pop("split"))
+    for key in ("max_nodes", "drop_dangling"):
+        if key in params:
+            common[key] = params.pop(key)
+    return common
+
+
+def _require(params: dict, *keys: str) -> None:
+    missing = sorted(k for k in keys if k not in params)
+    if missing:
+        raise AdapterError(f"adapter config missing required key(s) {missing}")
+
+
+def _reject_unknown(params: dict, accepted: Sequence[str]) -> None:
+    unknown = sorted(set(params) - set(accepted))
+    if unknown:
+        raise AdapterError(
+            f"unknown adapter config key(s) {unknown}; accepted: {sorted(accepted)}"
+        )

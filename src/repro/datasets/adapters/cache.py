@@ -1,0 +1,177 @@
+"""Content-addressed on-disk cache for ingested graphs.
+
+Same addressing discipline as :class:`repro.sampling.SubgraphStore`'s store
+cache: the cache key is a digest over *everything that determines the
+output* — the adapter name and parameters, the split policy, the ``--test``
+sample cap, a format version, and the sha256 of every source file's
+**contents** (not its mtime).  Editing a source file, changing any adapter
+knob, or bumping :data:`CACHE_VERSION` therefore misses cleanly; a hit is
+guaranteed to be the bit-identical graph a fresh ingest would produce.
+
+Entries are an ``.npz`` (arrays) + ``.json`` (header: name, relation
+order, metadata, fingerprint) pair, written atomically via temp file +
+``os.replace`` so a crashed writer never leaves a half-entry.  A small
+in-process LRU memo avoids re-reading npz files inside one process; it is
+guarded by a :func:`tracked_rlock` and registered in
+``analysis/locks.py:GUARDED_CLASSES``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.sanitizer import tracked_rlock
+from repro.datasets.adapters.base import AdapterError, DatasetAdapter
+from repro.graph import HeteroGraph
+
+#: Bump whenever the on-disk entry layout or the ingestion semantics
+#: change — old entries then miss instead of deserializing garbage.
+CACHE_VERSION = 1
+
+
+def _digest_file(path: Path) -> str:
+    digest = hashlib.sha256()
+    with path.open("rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def cache_key(adapter: DatasetAdapter, params: Dict[str, object]) -> str:
+    """Content-addressed key for one (adapter config, source state) pair."""
+    payload = {
+        "version": CACHE_VERSION,
+        "adapter": adapter.name,
+        "params": params,
+        "split": adapter.split.to_dict(),
+        "max_nodes": adapter.max_nodes,
+        "drop_dangling": adapter.drop_dangling,
+    }
+    digest = hashlib.sha1(
+        json.dumps(payload, sort_keys=True, default=str).encode()
+    )
+    for path in sorted(adapter.source_files(), key=str):
+        if not path.exists():
+            raise AdapterError(f"source file not found: {path}")
+        digest.update(str(path.name).encode())
+        digest.update(_digest_file(path).encode())
+    return digest.hexdigest()
+
+
+class IngestCache:
+    """Directory of content-addressed ingested graphs + an LRU memo."""
+
+    def __init__(self, directory: os.PathLike, memo_size: int = 4) -> None:
+        self.directory = Path(directory)
+        self._lock = tracked_rlock("IngestCache._lock")
+        self._memo: "OrderedDict[str, Tuple[HeteroGraph, str]]" = OrderedDict()
+        self._memo_size = int(memo_size)
+
+    def _paths(self, key: str) -> Tuple[Path, Path]:
+        return (
+            self.directory / f"ingest_{key}.npz",
+            self.directory / f"ingest_{key}.json",
+        )
+
+    # -- read -----------------------------------------------------------
+    def load(self, key: str) -> Optional[Tuple[HeteroGraph, str]]:
+        """Return ``(graph, fingerprint)`` on a hit, else ``None``."""
+        with self._lock:
+            if key in self._memo:
+                self._memo.move_to_end(key)
+                return self._memo[key]
+        npz_path, json_path = self._paths(key)
+        if not npz_path.exists() or not json_path.exists():
+            return None
+        try:
+            header = json.loads(json_path.read_text())
+            if header.get("cache_version") != CACHE_VERSION:
+                return None
+            with np.load(npz_path) as arrays:
+                relations = {
+                    name: (
+                        arrays[f"rel_src_{index}"],
+                        arrays[f"rel_dst_{index}"],
+                    )
+                    for index, name in enumerate(header["relations"])
+                }
+                graph = HeteroGraph(
+                    num_nodes=int(arrays["features"].shape[0]),
+                    features=arrays["features"],
+                    labels=arrays["labels"],
+                    relations=relations,
+                    train_mask=arrays["train_mask"],
+                    val_mask=arrays["val_mask"],
+                    test_mask=arrays["test_mask"],
+                    name=header["name"],
+                    metadata=header.get("metadata", {}),
+                )
+        except (OSError, KeyError, ValueError, json.JSONDecodeError):
+            # A corrupt or truncated entry is a miss, never an error: the
+            # caller re-ingests and overwrites it.
+            return None
+        entry = (graph, header["fingerprint"])
+        self._remember(key, entry)
+        return entry
+
+    # -- write ----------------------------------------------------------
+    def store(self, key: str, graph: HeteroGraph, fingerprint: str) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        npz_path, json_path = self._paths(key)
+        arrays = {
+            "features": graph.features,
+            "labels": graph.labels,
+            "train_mask": graph.train_mask,
+            "val_mask": graph.val_mask,
+            "test_mask": graph.test_mask,
+        }
+        for index, name in enumerate(graph.relation_names):
+            relation = graph.relation(name)
+            arrays[f"rel_src_{index}"] = relation.src
+            arrays[f"rel_dst_{index}"] = relation.dst
+        header = {
+            "cache_version": CACHE_VERSION,
+            "name": graph.name,
+            "relations": graph.relation_names,
+            "metadata": graph.metadata,
+            "fingerprint": fingerprint,
+        }
+        fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".npz.tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, **arrays)
+            os.replace(tmp_name, npz_path)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+        fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".json.tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(header, handle)
+            os.replace(tmp_name, json_path)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+        self._remember(key, (graph, fingerprint))
+
+    def _remember(self, key: str, entry: Tuple[HeteroGraph, str]) -> None:
+        with self._lock:
+            self._memo[key] = entry
+            self._memo.move_to_end(key)
+            while len(self._memo) > self._memo_size:
+                self._memo.popitem(last=False)
+
+    def clear_memo(self) -> None:
+        """Drop the in-process memo (disk entries stay)."""
+        with self._lock:
+            self._memo.clear()

@@ -1,0 +1,180 @@
+"""Adapter for exported follower graphs (profile dump + edge text files).
+
+The input shape mirrors what crawler exports of a Twitter-like platform
+look like: one ``profiles.jsonl`` with raw account metadata, plus one
+whitespace-separated ``src dst`` text file per relation (for example
+``following.txt`` and ``followers.txt``).  Raw profile counters are turned
+into a fixed, documented feature vector deterministically — log-compressed
+magnitudes, rates, ratios and boolean profile flags — so the same export
+always ingests to the same graph.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from repro.datasets.adapters.base import (
+    AdapterError,
+    DatasetAdapter,
+    EdgeChunk,
+    NodeChunk,
+    SplitPolicy,
+    _pop_common,
+    _reject_unknown,
+    _require,
+    register_adapter,
+)
+from repro.datasets.adapters.tabular import _open_path, _parse_label
+
+#: Feature vector layout produced by :func:`_featurize`, in order.
+FOLLOWER_FEATURES = (
+    "log_followers",
+    "log_friends",
+    "log_statuses",
+    "log_favourites",
+    "log_listed",
+    "follower_friend_ratio",
+    "statuses_per_day",
+    "verified",
+    "default_profile_image",
+    "has_url",
+    "has_location",
+)
+
+_COUNT_FIELDS = (
+    "followers_count",
+    "friends_count",
+    "statuses_count",
+    "favourites_count",
+    "listed_count",
+)
+
+
+def _featurize(record: dict, context: str) -> List[float]:
+    counts = {}
+    for field_name in _COUNT_FIELDS + ("account_age_days",):
+        raw = record.get(field_name, 0)
+        try:
+            value = float(raw)
+        except (TypeError, ValueError):
+            raise AdapterError(
+                f"{context}: field {field_name!r} value {raw!r} is not a number"
+            ) from None
+        if value < 0:
+            raise AdapterError(f"{context}: field {field_name!r} is negative")
+        counts[field_name] = value
+    age = max(counts["account_age_days"], 1.0)
+    return [
+        math.log1p(counts["followers_count"]),
+        math.log1p(counts["friends_count"]),
+        math.log1p(counts["statuses_count"]),
+        math.log1p(counts["favourites_count"]),
+        math.log1p(counts["listed_count"]),
+        counts["followers_count"] / (counts["friends_count"] + 1.0),
+        counts["statuses_count"] / age,
+        1.0 if record.get("verified") else 0.0,
+        1.0 if record.get("default_profile_image") else 0.0,
+        1.0 if record.get("url") or record.get("has_url") else 0.0,
+        1.0 if record.get("location") or record.get("has_location") else 0.0,
+    ]
+
+
+class FollowerExportAdapter(DatasetAdapter):
+    """Profiles + per-relation ``src dst`` edge files."""
+
+    name = "follower-export"
+    PATH_PARAMS = ("profiles", "relations")
+
+    def __init__(
+        self,
+        profiles: str,
+        relations: Dict[str, str],
+        split: Optional[SplitPolicy] = None,
+        max_nodes: Optional[int] = None,
+        drop_dangling: Optional[bool] = None,
+    ) -> None:
+        super().__init__(split=split, max_nodes=max_nodes, drop_dangling=drop_dangling)
+        self.profiles_path = Path(profiles)
+        if not isinstance(relations, dict) or not relations:
+            raise AdapterError(
+                "follower-export requires a non-empty relations mapping "
+                "{relation_name: edge_file}"
+            )
+        self.relation_paths = {str(k): Path(v) for k, v in relations.items()}
+
+    def iter_node_chunks(self, chunk_size: int) -> Iterator[NodeChunk]:
+        ids: List[object] = []
+        rows: List[List[float]] = []
+        labels: List[int] = []
+        with _open_path(self.profiles_path, "profiles") as handle:
+            for line_no, raw in enumerate(handle, start=1):
+                raw = raw.strip()
+                if not raw:
+                    continue
+                context = f"profiles file {self.profiles_path.name} line {line_no}"
+                try:
+                    record = json.loads(raw)
+                except json.JSONDecodeError as exc:
+                    raise AdapterError(f"{context}: invalid JSON ({exc.msg})") from None
+                if not isinstance(record, dict) or "id" not in record:
+                    raise AdapterError(f"{context}: expected an object with an 'id'")
+                if "label" not in record:
+                    raise AdapterError(f"{context}: missing 'label' field")
+                ids.append(record["id"])
+                rows.append(_featurize(record, context))
+                labels.append(_parse_label(record["label"], context))
+                if len(ids) >= chunk_size:
+                    yield NodeChunk(ids=ids, features=np.asarray(rows), labels=np.asarray(labels))
+                    ids, rows, labels = [], [], []
+        if ids:
+            yield NodeChunk(ids=ids, features=np.asarray(rows), labels=np.asarray(labels))
+
+    def iter_edge_chunks(self, chunk_size: int) -> Iterator[EdgeChunk]:
+        for rel_name, path in self.relation_paths.items():
+            src_list: List[object] = []
+            dst_list: List[object] = []
+            with _open_path(path, f"relation {rel_name!r} edges") as handle:
+                for line_no, raw in enumerate(handle, start=1):
+                    raw = raw.strip()
+                    if not raw or raw.startswith("#"):
+                        continue
+                    parts = raw.split()
+                    if len(parts) != 2:
+                        raise AdapterError(
+                            f"edges file {path.name} line {line_no}: expected "
+                            f"'src dst', got {raw!r}"
+                        )
+                    src_list.append(parts[0])
+                    dst_list.append(parts[1])
+                    if len(src_list) >= chunk_size:
+                        yield EdgeChunk(relation=rel_name, src=src_list, dst=dst_list)
+                        src_list, dst_list = [], []
+            if src_list:
+                yield EdgeChunk(relation=rel_name, src=src_list, dst=dst_list)
+
+    def graph_name(self) -> str:
+        return self.profiles_path.stem
+
+    def metadata(self) -> Dict[str, object]:
+        return {
+            "adapter": self.name,
+            "profiles": str(self.profiles_path),
+            "relations": {k: str(v) for k, v in self.relation_paths.items()},
+            "feature_names": list(FOLLOWER_FEATURES),
+        }
+
+    def source_files(self) -> List[Path]:
+        return [self.profiles_path, *self.relation_paths.values()]
+
+
+@register_adapter("follower-export", path_params=("profiles", "relations"))
+def _build_follower(params: dict) -> FollowerExportAdapter:
+    common = _pop_common(params)
+    _require(params, "profiles", "relations")
+    _reject_unknown(params, ("profiles", "relations"))
+    return FollowerExportAdapter(**params, **common)

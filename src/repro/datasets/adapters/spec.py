@@ -1,0 +1,257 @@
+"""Declarative dataset specs: one file describes source + split + cache.
+
+A spec is a small YAML (or JSON) document::
+
+    name: my-botnet
+    adapter: csv
+    source:
+      nodes: nodes.csv          # paths resolve relative to the spec file
+      edges: edges.csv
+      labels: labels.csv
+      columns:
+        id: user_id
+        features: [f0, f1, f2]
+    split:
+      train_fraction: 0.6
+      val_fraction: 0.2
+      seed: 7
+    cache:
+      dir: .ingest-cache        # optional; REPRO_INGEST_CACHE also works
+    test_sample: 96             # node cap applied under --test
+
+:func:`ingest_spec` turns one into a :class:`HeteroGraph` through the
+adapter registry, consulting the content-addressed :class:`IngestCache`
+when a cache directory is configured.  ``repro ingest/fit/score`` and
+artifact provenance all speak this format: a fitted artifact stores the
+spec dict, and :func:`resolve_dataset_graph` rebuilds the exact graph from
+it (or from classic ``load_benchmark`` provenance) at scoring time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+try:  # PyYAML ships with the runtime image but is optional for the library
+    import yaml as _yaml
+except ImportError:  # pragma: no cover - exercised only without pyyaml
+    _yaml = None
+
+from repro.datasets.adapters.base import (
+    ADAPTERS,
+    AdapterError,
+    DatasetAdapter,
+    SplitPolicy,
+    create_adapter,
+    graph_fingerprint,
+)
+from repro.datasets.adapters.cache import IngestCache, cache_key
+from repro.graph import HeteroGraph
+
+#: Environment variable naming a default ingest cache directory.
+CACHE_ENV = "REPRO_INGEST_CACHE"
+
+_SPEC_KEYS = frozenset({"name", "adapter", "source", "split", "cache", "test_sample"})
+
+
+@dataclass
+class DatasetSpec:
+    """Parsed, path-resolved form of a spec file."""
+
+    adapter: str
+    params: Dict[str, object] = field(default_factory=dict)
+    split: Dict[str, object] = field(default_factory=dict)
+    name: Optional[str] = None
+    cache_dir: Optional[str] = None
+    test_sample: Optional[int] = None
+    path: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict for artifact provenance (round-trips via from_dict)."""
+        return {
+            "adapter": self.adapter,
+            "source": self.params,
+            "split": self.split,
+            "name": self.name,
+            "cache": {"dir": self.cache_dir} if self.cache_dir else None,
+            "test_sample": self.test_sample,
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: Dict[str, object], base_dir: Optional[Path] = None
+    ) -> "DatasetSpec":
+        if not isinstance(data, dict):
+            raise AdapterError(f"dataset spec must be a mapping, got {type(data).__name__}")
+        unknown = sorted(set(data) - _SPEC_KEYS)
+        if unknown:
+            raise AdapterError(
+                f"unknown dataset spec key(s) {unknown}; accepted: {sorted(_SPEC_KEYS)}"
+            )
+        if "adapter" not in data:
+            raise AdapterError("dataset spec requires an 'adapter' key")
+        adapter = str(data["adapter"]).lower()
+        if adapter not in ADAPTERS:
+            raise AdapterError(
+                f"unknown adapter {adapter!r}; options: {ADAPTERS.names()}"
+            )
+        params = dict(data.get("source") or {})
+        if base_dir is not None:
+            params = _resolve_paths(adapter, params, base_dir)
+        split = dict(data.get("split") or {})
+        SplitPolicy.from_dict(split)  # validate early, not at ingest time
+        cache = data.get("cache") or {}
+        if cache and (not isinstance(cache, dict) or set(cache) - {"dir"}):
+            raise AdapterError("spec 'cache' section accepts only a 'dir' key")
+        cache_dir = cache.get("dir") if isinstance(cache, dict) else None
+        if cache_dir is not None and base_dir is not None:
+            cache_dir = str((base_dir / str(cache_dir)).resolve())
+        test_sample = data.get("test_sample")
+        if test_sample is not None:
+            test_sample = int(test_sample)
+            if test_sample <= 0:
+                raise AdapterError("test_sample must be positive")
+        return cls(
+            adapter=adapter,
+            params=params,
+            split=split,
+            name=str(data["name"]) if data.get("name") else None,
+            cache_dir=str(cache_dir) if cache_dir else None,
+            test_sample=test_sample,
+        )
+
+    def build_adapter(self, test: bool = False) -> DatasetAdapter:
+        params = dict(self.params)
+        params["split"] = dict(self.split)
+        if test:
+            if self.test_sample is None:
+                raise AdapterError(
+                    "--test requested but the spec has no 'test_sample' entry"
+                )
+            params["max_nodes"] = self.test_sample
+        return create_adapter({"adapter": self.adapter, **params})
+
+
+def _resolve_paths(
+    adapter: str, params: Dict[str, object], base_dir: Path
+) -> Dict[str, object]:
+    """Resolve the adapter's declared path params relative to the spec file."""
+
+    def resolve(value: object) -> object:
+        if isinstance(value, str):
+            return str((base_dir / value).resolve())
+        if isinstance(value, dict):
+            return {k: resolve(v) for k, v in value.items()}
+        if isinstance(value, list):
+            return [resolve(v) for v in value]
+        return value
+
+    resolved = dict(params)
+    for key in ADAPTERS.path_params(adapter):
+        if key in resolved and resolved[key] is not None:
+            resolved[key] = resolve(resolved[key])
+    return resolved
+
+
+def load_dataset_spec(path: Union[str, os.PathLike]) -> DatasetSpec:
+    """Parse a ``.yaml``/``.yml``/``.json`` spec file."""
+    spec_path = Path(path)
+    if not spec_path.exists():
+        raise AdapterError(f"dataset spec not found: {spec_path}")
+    text = spec_path.read_text()
+    if spec_path.suffix.lower() in (".yaml", ".yml"):
+        if _yaml is None:
+            raise AdapterError(
+                "PyYAML is not installed; install pyyaml or use a .json spec"
+            )
+        try:
+            data = _yaml.safe_load(text)
+        except _yaml.YAMLError as exc:
+            raise AdapterError(f"invalid YAML in {spec_path}: {exc}") from None
+    else:
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise AdapterError(f"invalid JSON in {spec_path}: {exc.msg}") from None
+    spec = DatasetSpec.from_dict(data, base_dir=spec_path.parent)
+    spec.path = str(spec_path)
+    return spec
+
+
+@dataclass
+class IngestResult:
+    """What :func:`ingest_spec` hands back."""
+
+    graph: HeteroGraph
+    fingerprint: str
+    cache_hit: bool
+    elapsed_s: float
+    spec: DatasetSpec
+
+
+def _cache_directory(spec: DatasetSpec) -> Optional[str]:
+    if spec.cache_dir:
+        return spec.cache_dir
+    return os.environ.get(CACHE_ENV) or None
+
+
+def ingest_spec(
+    spec: Union[str, os.PathLike, DatasetSpec],
+    test: bool = False,
+    chunk_size: Optional[int] = None,
+    use_cache: bool = True,
+) -> IngestResult:
+    """Ingest a spec (path or parsed) into a graph, via the cache if any."""
+    if not isinstance(spec, DatasetSpec):
+        spec = load_dataset_spec(spec)
+    started = time.perf_counter()
+    adapter = spec.build_adapter(test=test)
+    cache_dir = _cache_directory(spec) if use_cache else None
+    cache: Optional[IngestCache] = None
+    key: Optional[str] = None
+    if cache_dir:
+        cache = IngestCache(cache_dir)
+        key = cache_key(adapter, {**spec.params, "test": bool(test)})
+        cached = cache.load(key)
+        if cached is not None:
+            graph, fingerprint = cached
+            return IngestResult(
+                graph=graph,
+                fingerprint=fingerprint,
+                cache_hit=True,
+                elapsed_s=time.perf_counter() - started,
+                spec=spec,
+            )
+    graph = adapter.ingest(chunk_size=chunk_size)
+    if spec.name:
+        graph.name = spec.name
+    fingerprint = graph_fingerprint(graph)
+    if cache is not None and key is not None:
+        cache.store(key, graph, fingerprint)
+    return IngestResult(
+        graph=graph,
+        fingerprint=fingerprint,
+        cache_hit=False,
+        elapsed_s=time.perf_counter() - started,
+        spec=spec,
+    )
+
+
+def resolve_dataset_graph(provenance: Dict[str, object]) -> HeteroGraph:
+    """Rebuild the training graph from artifact provenance.
+
+    Two provenance shapes exist: adapter-era artifacts store
+    ``{"spec": <spec dict>, "test": bool}``; classic artifacts store
+    ``load_benchmark`` keyword arguments.  Both return the exact graph the
+    detector was fitted on.
+    """
+    if "spec" in provenance:
+        spec = DatasetSpec.from_dict(provenance["spec"])  # paths already absolute
+        return ingest_spec(spec, test=bool(provenance.get("test"))).graph
+    from repro.datasets.benchmarks import load_benchmark
+
+    return load_benchmark(**provenance).graph

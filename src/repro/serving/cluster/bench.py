@@ -118,6 +118,7 @@ def run_cluster_benchmark(
     min_scaling: Optional[float] = None,
     overrides: Optional[Dict[str, object]] = None,
     artifact_dir: Optional[Path] = None,
+    dataset: str = "mgtab",
 ) -> Dict[str, object]:
     """Run the shard-scaling benchmark; returns the JSON-ready result dict.
 
@@ -135,10 +136,21 @@ def run_cluster_benchmark(
     shard_ladder = sorted(set(int(count) for count in shard_ladder))
     if shard_ladder[0] != 1:
         raise ValueError("shard_ladder must include the 1-shard baseline rung")
-    benchmark = load_benchmark(
-        "mgtab", num_users=num_users, tweets_per_user=8, seed=seed
-    )
-    graph = benchmark.graph
+    if dataset == "synthetic":
+        # The adapter-backed generator reaches node counts the bundled
+        # benchmarks can't, with ground-truth labels for free.
+        from repro.datasets.adapters import SyntheticBotnetAdapter
+
+        graph = SyntheticBotnetAdapter(
+            num_users=num_users, num_communities=max(4, num_users // 100),
+            avg_degree=6.0, seed=seed,
+        ).ingest()
+    elif dataset == "mgtab":
+        graph = load_benchmark(
+            "mgtab", num_users=num_users, tweets_per_user=8, seed=seed
+        ).graph
+    else:
+        raise ValueError(f"unknown benchmark dataset {dataset!r} (mgtab|synthetic)")
     detector = api.create_detector(
         {
             "name": "bsg4bot",
@@ -244,7 +256,7 @@ def run_cluster_benchmark(
     scaling = widest["throughput_rps"] / baseline["throughput_rps"]
     result: Dict[str, object] = {
         "scale": {
-            "benchmark": "mgtab",
+            "benchmark": dataset,
             "num_users": num_users,
             "num_nodes": int(graph.num_nodes),
             "clients": clients,

@@ -130,9 +130,9 @@ class ShardRouter:
                     "artifact has no dataset provenance; pass the serving "
                     "graph explicitly: ShardRouter.from_artifact(path, graph=...)"
                 )
-            from repro.datasets import load_benchmark
+            from repro.datasets import resolve_dataset_graph
 
-            graph = load_benchmark(**dataset).graph
+            graph = resolve_dataset_graph(dataset)
         config = manifest.get("config", {})
         plan = plan_shards(
             graph,

@@ -156,9 +156,9 @@ class DetectionService:
                     "artifact has no dataset provenance; pass the serving "
                     "graph explicitly: DetectionService.from_artifact(path, graph=...)"
                 )
-            from repro.datasets import load_benchmark
+            from repro.datasets import resolve_dataset_graph
 
-            graph = load_benchmark(**dataset).graph
+            graph = resolve_dataset_graph(dataset)
         detector = load_detector(path, graph=graph)
         return cls(detector, graph, **kwargs)
 

@@ -1,0 +1,139 @@
+"""Regenerate the adapter fixtures in this directory, deterministically.
+
+Run from anywhere::
+
+    python tests/fixtures/adapters/make_fixtures.py
+
+Each fixture set is a miniature external dataset for one adapter in the CI
+``dataset-matrix`` job: big enough to fit + score the tiny detector
+configuration, small enough to commit.  Bot features get a mean shift so
+training has signal.  Every byte is a pure function of the seeds below —
+rerunning must produce identical files.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+HERE = Path(__file__).resolve().parent
+
+
+def _label_features(rng: np.random.Generator, labels: np.ndarray, dim: int) -> np.ndarray:
+    features = rng.standard_normal((labels.shape[0], dim))
+    features[labels == 1] += 1.2
+    return np.round(features, 4)
+
+
+def _edges(
+    rng: np.random.Generator, labels: np.ndarray, count: int
+) -> tuple[np.ndarray, np.ndarray]:
+    n = labels.shape[0]
+    src = rng.integers(0, n, size=count)
+    # Humans prefer humans; bots attach mostly to humans (Figure 1 shape).
+    humans = np.flatnonzero(labels == 0)
+    dst = rng.integers(0, n, size=count)
+    toward_humans = rng.random(count) < np.where(labels[src] == 1, 0.8, 0.7)
+    dst[toward_humans] = humans[rng.integers(0, humans.shape[0], size=int(toward_humans.sum()))]
+    keep = src != dst
+    return src[keep], dst[keep]
+
+
+def make_csv() -> None:
+    rng = np.random.default_rng(1001)
+    out = HERE / "csv"
+    out.mkdir(exist_ok=True)
+    n = 120
+    labels = (rng.random(n) < 0.35).astype(int)
+    features = _label_features(rng, labels, 8)
+    ids = [f"u{i:03d}" for i in range(n)]
+    with (out / "nodes.csv").open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["user_id"] + [f"f{j}" for j in range(8)])
+        for i in range(n):
+            writer.writerow([ids[i]] + [f"{v}" for v in features[i]])
+    with (out / "labels.csv").open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["user_id", "is_bot"])
+        for i in range(n):
+            writer.writerow([ids[i], labels[i]])
+    with (out / "edges.csv").open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["source", "target", "kind"])
+        for kind in ("following", "mention"):
+            src, dst = _edges(rng, labels, 420)
+            for s, d in zip(src, dst):
+                writer.writerow([ids[s], ids[d], kind])
+
+
+def make_jsonl() -> None:
+    rng = np.random.default_rng(2002)
+    out = HERE / "jsonl"
+    out.mkdir(exist_ok=True)
+    n = 100
+    labels = (rng.random(n) < 0.3).astype(int)
+    features = _label_features(rng, labels, 6)
+    keys = [f"x{j}" for j in range(6)]
+    with (out / "nodes.jsonl").open("w") as handle:
+        for i in range(n):
+            record = {
+                "id": int(i),
+                "label": int(labels[i]),
+                "features": {k: float(features[i, j]) for j, k in enumerate(keys)},
+            }
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    with (out / "edges.jsonl").open("w") as handle:
+        for relation in ("follows", "replies"):
+            src, dst = _edges(rng, labels, 360)
+            for s, d in zip(src, dst):
+                handle.write(
+                    json.dumps(
+                        {"src": int(s), "dst": int(d), "relation": relation},
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+
+
+def make_follower() -> None:
+    rng = np.random.default_rng(3003)
+    out = HERE / "follower"
+    out.mkdir(exist_ok=True)
+    n = 90
+    labels = (rng.random(n) < 0.35).astype(int)
+    ids = [f"acct_{i}" for i in range(n)]
+    with (out / "profiles.jsonl").open("w") as handle:
+        for i in range(n):
+            bot = labels[i] == 1
+            record = {
+                "id": ids[i],
+                "label": int(labels[i]),
+                # Bots: young accounts, high status rate, few followers.
+                "followers_count": int(rng.poisson(12 if bot else 180)),
+                "friends_count": int(rng.poisson(900 if bot else 220)),
+                "statuses_count": int(rng.poisson(4000 if bot else 1500)),
+                "favourites_count": int(rng.poisson(30 if bot else 600)),
+                "listed_count": int(rng.poisson(0 if bot else 4)),
+                "account_age_days": int(rng.integers(5, 120) if bot else rng.integers(300, 3000)),
+                "verified": bool((not bot) and rng.random() < 0.1),
+                "default_profile_image": bool(bot and rng.random() < 0.6),
+                "has_url": bool(rng.random() < (0.1 if bot else 0.5)),
+                "has_location": bool(rng.random() < (0.2 if bot else 0.7)),
+            }
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    for filename in ("following.txt", "followers.txt"):
+        src, dst = _edges(rng, labels, 300)
+        with (out / filename).open("w") as handle:
+            handle.write("# src dst\n")
+            for s, d in zip(src, dst):
+                handle.write(f"{ids[s]} {ids[d]}\n")
+
+
+if __name__ == "__main__":
+    make_csv()
+    make_jsonl()
+    make_follower()
+    print(f"fixtures regenerated under {HERE}")
