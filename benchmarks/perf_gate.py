@@ -182,6 +182,39 @@ def bench_model_forward(graph, store) -> dict:
     }
 
 
+def bench_tracing(graph, store) -> dict:
+    """Per-request tracing overhead on the serving path.
+
+    A hand-assembled detector — random-initialized model over the already
+    built store; training has no place in a perf gate — behind a
+    :class:`DetectionService`, driven with a fixed request mix per arm
+    (tracer off vs ``sample_rate=1.0``), interleaved so machine noise hits
+    both arms equally.  The ratio's floor keeps always-on tracing cheap
+    enough to actually leave on.
+    """
+    from repro.core.config import BSG4BotConfig
+    from repro.core.pipeline import BSG4Bot
+    from repro.serving.bench import measure_tracing_overhead
+
+    detector = BSG4Bot(BSG4BotConfig())
+    detector.graph = graph
+    detector.store = store
+    detector.model = BSG4BotModel(
+        graph.num_features,
+        hidden_dim=8,
+        relation_names=graph.relation_names,
+        rng=np.random.default_rng(5),
+    )
+    metrics = measure_tracing_overhead(
+        detector, graph, max_batch_size=BATCH_SIZE
+    )
+    return {
+        "serving_trace_overhead_ratio": metrics["serving_trace_overhead_ratio"],
+        "serving_untraced_rps": metrics["serving_untraced_rps"],
+        "serving_traced_rps": metrics["serving_traced_rps"],
+    }
+
+
 def bench_cluster_scaling() -> dict:
     """Sharded-router throughput vs the single-shard baseline.
 
@@ -245,6 +278,9 @@ def run(output_path: Path = RESULTS_PATH) -> dict:
         # Chunked ingestion throughput + content-addressed cache warm start
         # (asserts synthetic regeneration determinism internally).
         **ingest_gate_metrics(),
+        # Traced-vs-untraced serving throughput (observability must stay
+        # cheap enough to leave armed).
+        **bench_tracing(graph, store),
         # Last: its teardown shuts the shared construction pool down.
         **bench_cluster_scaling(),
     }

@@ -59,11 +59,19 @@ GUARDED_CLASSES: Dict[str, Tuple[str, Tuple[str, ...]]] = {
             "_expedited",
         ),
     ),
-    "ShardRouter": ("_lock", ("_closed", "_requests", "_updates")),
+    "ShardRouter": ("_lock", ("_closed", "_requests", "_updates", "_registry_key")),
     "ClusterHTTPServer": ("_lock", ("_inflight", "_rejected")),
     "IngestCache": ("_lock", ("_memo",)),
     "ServingMetrics": ("_lock", ("_counters",)),
     "LatencyHistogram": ("_lock", ("_counts", "_sum", "_min", "_max")),
+    "Trace": ("_lock", ("_spans", "_next_span_id", "_duration_s")),
+    "Tracer": (
+        "_lock",
+        ("_traces", "_started", "_kept", "_evicted", "_dump_errors"),
+    ),
+    "MetricsRegistry": ("_lock", ("_collectors", "_owned")),
+    "Counter": ("_lock", ("_value",)),
+    "Gauge": ("_lock", ("_value",)),
 }
 
 #: Methods where unguarded access is always legal: construction and pickling

@@ -132,6 +132,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=_parse_override, metavar="KEY=VALUE",
         help="detector config override (repeatable), e.g. --override subgraph_k=8",
     )
+    fit_parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="trace the run (ingest + training phases) into a JSONL file and "
+        "print the waterfall (render saved files with 'repro trace FILE')",
+    )
 
     score_parser = subparsers.add_parser(
         "score", help="score nodes with a saved detector artifact"
@@ -215,8 +220,35 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="delta watermark: force application after S seconds")
     cluster_parser.add_argument("--seed", type=int, default=0,
                                 help="partitioner seed")
+    cluster_parser.add_argument(
+        "--trace-sample", type=float, default=None, metavar="RATE",
+        help="trace this fraction of requests (0..1; also via REPRO_TRACE_SAMPLE)",
+    )
+    cluster_parser.add_argument(
+        "--trace-slow-ms", type=float, default=None, metavar="MS",
+        help="always keep traces slower than MS milliseconds",
+    )
+    cluster_parser.add_argument(
+        "--trace-dump", default=None, metavar="FILE",
+        help="append kept slow traces to this JSONL file",
+    )
+    cluster_parser.add_argument(
+        "--trace-buffer", type=int, default=None, metavar="N",
+        help="kept traces retained in the GET /traces ring buffer",
+    )
 
     subparsers.add_parser("detectors", help="list registered detector names")
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="render traces from a JSONL dump as waterfalls"
+    )
+    trace_parser.add_argument(
+        "file", help="JSONL trace dump ('repro serve --trace-dump', 'repro fit --trace')"
+    )
+    trace_parser.add_argument(
+        "--top", type=int, default=3, metavar="N",
+        help="waterfalls to render, slowest first (default: 3)",
+    )
 
     lint_parser = subparsers.add_parser(
         "lint", help="run the invariant checkers (lock/shm/reduction/oracle/resource)"
@@ -333,6 +365,27 @@ def _cmd_fit(args) -> int:
         )
     if args.test and args.dataset is None:
         raise SystemExit("--test only applies to --dataset specs")
+    if not args.trace:
+        return _run_fit(args)
+    # One always-kept trace for the whole run; the ambient contextvar lets
+    # ingest and the pipeline's phase_span calls attach their spans.
+    from repro.obs import Tracer, activate_trace, render_waterfall
+
+    # slow_threshold_s=0.0 marks every trace slow, so the one fit trace is
+    # always appended to the dump file (dumping is slow-only by design).
+    tracer = Tracer(1.0, slow_threshold_s=0.0, dump_path=args.trace)
+    trace = tracer.start_trace("fit", attributes={"detector": args.detector})
+    try:
+        with activate_trace(trace):
+            return _run_fit(args)
+    finally:
+        tracer.finish_trace(trace)
+        print()
+        print(render_waterfall(trace.to_dict()))
+        print(f"trace written to {args.trace}")
+
+
+def _run_fit(args) -> int:
     scale = _SCALES[args.scale]
     if args.dataset is not None:
         from repro.datasets.adapters import AdapterError, ingest_spec
@@ -441,8 +494,24 @@ def _cmd_serve_bench(args) -> int:
 def _cmd_serve(args) -> int:
     # Lazy import for the same reason as serve-bench: the cluster layer
     # pulls in the whole detector + serving stack.
+    from repro.obs import Tracer
     from repro.serving.cluster import ShardRouter, run_server
 
+    tracer = None
+    if (
+        args.trace_sample is not None
+        or args.trace_slow_ms is not None
+        or args.trace_dump is not None
+        or args.trace_buffer is not None
+    ):
+        tracer = Tracer(
+            sample_rate=args.trace_sample or 0.0,
+            slow_threshold_s=(
+                None if args.trace_slow_ms is None else args.trace_slow_ms / 1000.0
+            ),
+            capacity=args.trace_buffer or 256,
+            dump_path=args.trace_dump,
+        )
     print(
         f"Planning {args.num_shards} shard(s) from {args.artifact} "
         f"(halo_hops>={args.halo_hops}, verify={not args.no_verify})..."
@@ -453,6 +522,7 @@ def _cmd_serve(args) -> int:
         halo_hops=args.halo_hops,
         seed=args.seed,
         verify=not args.no_verify,
+        tracer=tracer,  # None falls back to REPRO_TRACE_* (Tracer.from_env)
         max_batch_size=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         adaptive_wait=True,
@@ -468,6 +538,26 @@ def _cmd_serve(args) -> int:
         router, host=args.host, port=args.port, max_inflight=args.max_inflight
     )
     print("repro serve: shut down cleanly")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import read_traces, render_waterfall, summarize_traces
+
+    try:
+        traces = read_traces(args.file)
+    except OSError as exc:
+        raise SystemExit(f"cannot read trace dump: {exc}") from None
+    if not traces:
+        print(f"no traces in {args.file}")
+        return 1
+    print(summarize_traces(traces))
+    slowest = sorted(
+        traces, key=lambda t: float(t.get("duration_s", 0.0)), reverse=True
+    )
+    for trace in slowest[: max(args.top, 0)]:
+        print()
+        print(render_waterfall(trace))
     return 0
 
 
@@ -535,6 +625,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in api.available_detectors():
             print(name)
         return 0
+
+    if args.command == "trace":
+        return _cmd_trace(args)
 
     if args.command == "lint":
         return _cmd_lint(args)

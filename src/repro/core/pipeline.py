@@ -23,7 +23,6 @@ interface so the experiment harness treats it like any baseline.
 from __future__ import annotations
 
 import hashlib
-import time
 from pathlib import Path
 from typing import Dict, Iterable, Optional
 
@@ -40,6 +39,7 @@ from repro.core.trainer import (
     train_subgraph_classifier,
 )
 from repro.graph import HeteroGraph
+from repro.obs.trace import phase_span
 from repro.sampling import (
     BiasedSubgraphBuilder,
     PPRSubgraphBuilder,
@@ -100,11 +100,13 @@ class BSG4Bot(BotDetector):
     # Phase 1: pre-trained classifier
     # ------------------------------------------------------------------
     def _pretrain(self, graph: HeteroGraph, class_weight: Optional[np.ndarray]) -> np.ndarray:
-        start = time.perf_counter()
-        self.build_preclassifier(graph.num_features)
-        self.preclassifier.fit_graph(graph, class_weight=class_weight)
-        embeddings = self.preclassifier.hidden_representations(graph.features)
-        self.phase_times["pretrain"] = time.perf_counter() - start
+        # phase_span accumulates; pop first to keep the historical
+        # overwrite-on-refit semantics of this phase.
+        self.phase_times.pop("pretrain", None)
+        with phase_span("pretrain", self.phase_times, nodes=graph.num_nodes):
+            self.build_preclassifier(graph.num_features)
+            self.preclassifier.fit_graph(graph, class_weight=class_weight)
+            embeddings = self.preclassifier.hidden_representations(graph.features)
         return embeddings
 
     # ------------------------------------------------------------------
@@ -176,30 +178,27 @@ class BSG4Bot(BotDetector):
         nodes: Iterable[int],
         phase: str = "subgraph_construction",
     ) -> SubgraphStore:
-        start = time.perf_counter()
-        builder = self._get_builder(graph)
-        store = self.store
-        cache_path = self._store_cache_path(builder)
-        if (store is None or len(store) == 0) and cache_path is not None and cache_path.exists():
-            try:
-                store = SubgraphStore.load(cache_path, graph)
-            except Exception:
-                # A corrupt/unreadable cache entry must never block a run;
-                # rebuild and overwrite it below.
-                store = self.store
-        nodes = [int(node) for node in nodes]
-        already = len(store) if store is not None else 0
-        store = builder.build_store(
-            nodes, store=store, workers=self.config.subgraph_workers
-        )
-        store.cache_capacity = self.config.batch_cache_size
-        # At most one (atomic) rewrite per construction call; inference
-        # top-ups are included so the next run's predictions also hit cache.
-        if cache_path is not None and len(store) > already:
-            store.save(cache_path)
-        self.phase_times[phase] = (
-            self.phase_times.get(phase, 0.0) + time.perf_counter() - start
-        )
+        with phase_span(phase, self.phase_times):
+            builder = self._get_builder(graph)
+            store = self.store
+            cache_path = self._store_cache_path(builder)
+            if (store is None or len(store) == 0) and cache_path is not None and cache_path.exists():
+                try:
+                    store = SubgraphStore.load(cache_path, graph)
+                except Exception:
+                    # A corrupt/unreadable cache entry must never block a run;
+                    # rebuild and overwrite it below.
+                    store = self.store
+            nodes = [int(node) for node in nodes]
+            already = len(store) if store is not None else 0
+            store = builder.build_store(
+                nodes, store=store, workers=self.config.subgraph_workers
+            )
+            store.cache_capacity = self.config.batch_cache_size
+            # At most one (atomic) rewrite per construction call; inference
+            # top-ups are included so the next run's predictions also hit cache.
+            if cache_path is not None and len(store) > already:
+                store.save(cache_path)
         return store
 
     def _ensure_subgraphs(self, nodes: Iterable[int]) -> None:
@@ -248,22 +247,25 @@ class BSG4Bot(BotDetector):
         # splits saturate immediately and keeping the first saturating epoch
         # would preserve a nearly untrained model (the Figure 9 transfer
         # study exposes this).
-        history = train_subgraph_classifier(
-            self.model,
-            self.model.parameters(),
-            self.store,
-            train_nodes,
-            lambda: self._score_nodes(val_nodes),
-            class_weight=class_weight,
-            lr=config.lr,
-            weight_decay=config.weight_decay,
-            batch_size=config.batch_size,
-            max_epochs=config.max_epochs,
-            min_epochs=config.min_epochs,
-            patience=config.patience,
-            rng=rng,
-            snapshot_tie_break="loss",
-        )
+        with phase_span(
+            "training", self.phase_times, train_nodes=int(train_nodes.size)
+        ):
+            history = train_subgraph_classifier(
+                self.model,
+                self.model.parameters(),
+                self.store,
+                train_nodes,
+                lambda: self._score_nodes(val_nodes),
+                class_weight=class_weight,
+                lr=config.lr,
+                weight_decay=config.weight_decay,
+                batch_size=config.batch_size,
+                max_epochs=config.max_epochs,
+                min_epochs=config.min_epochs,
+                patience=config.patience,
+                rng=rng,
+                snapshot_tie_break="loss",
+            )
         history.extra["phase_times"] = dict(self.phase_times)
         self.history = history
         return history

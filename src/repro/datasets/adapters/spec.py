@@ -51,6 +51,8 @@ from repro.datasets.adapters.base import (
 )
 from repro.datasets.adapters.cache import IngestCache, cache_key
 from repro.graph import HeteroGraph
+from repro.obs.registry import global_registry
+from repro.obs.trace import add_ambient_span
 
 #: Environment variable naming a default ingest cache directory.
 CACHE_ENV = "REPRO_INGEST_CACHE"
@@ -209,6 +211,7 @@ def ingest_spec(
     if not isinstance(spec, DatasetSpec):
         spec = load_dataset_spec(spec)
     started = time.perf_counter()
+    span_started = time.monotonic()
     adapter = spec.build_adapter(test=test)
     cache_dir = _cache_directory(spec) if use_cache else None
     cache: Optional[IngestCache] = None
@@ -219,6 +222,7 @@ def ingest_spec(
         cached = cache.load(key)
         if cached is not None:
             graph, fingerprint = cached
+            _observe_ingest(spec, span_started, cache_hit=True, cached=True)
             return IngestResult(
                 graph=graph,
                 fingerprint=fingerprint,
@@ -232,12 +236,42 @@ def ingest_spec(
     fingerprint = graph_fingerprint(graph)
     if cache is not None and key is not None:
         cache.store(key, graph, fingerprint)
+    _observe_ingest(spec, span_started, cache_hit=False, cached=cache is not None)
     return IngestResult(
         graph=graph,
         fingerprint=fingerprint,
         cache_hit=False,
         elapsed_s=time.perf_counter() - started,
         spec=spec,
+    )
+
+
+def _observe_ingest(
+    spec: DatasetSpec, span_started: float, *, cache_hit: bool, cached: bool
+) -> None:
+    """Telemetry tail of one ingest: registry counters + ambient span.
+
+    Cache counters only move when a cache was actually consulted
+    (``cached``) — an uncached ingest is not a "miss".
+    """
+    if cached:
+        name = (
+            "repro_ingest_cache_hits_total"
+            if cache_hit
+            else "repro_ingest_cache_misses_total"
+        )
+        help_text = (
+            "Dataset ingests served from the content-addressed cache."
+            if cache_hit
+            else "Dataset ingests that ran the adapter and filled the cache."
+        )
+        global_registry().counter(name, help_text).inc()
+    add_ambient_span(
+        "ingest",
+        span_started,
+        time.monotonic() - span_started,
+        dataset=spec.name or "",
+        cache="hit" if cache_hit else ("miss" if cached else "off"),
     )
 
 

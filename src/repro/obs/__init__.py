@@ -1,0 +1,68 @@
+"""``repro.obs``: zero-dependency observability for the serving stack.
+
+Three stdlib-only pieces:
+
+* :mod:`repro.obs.trace` — request tracing: span trees with monotonic
+  start/duration and parent links, contextvar ambient propagation for
+  single-threaded phases, explicit ``Trace`` hand-off for the cross-thread
+  serving path, probabilistic + always-keep-slow sampling, and a bounded
+  ring buffer behind ``GET /traces``.
+* :mod:`repro.obs.registry` — a process-global, lock-guarded
+  :class:`MetricsRegistry` of pull-model collectors with Prometheus
+  text-format exposition (and the strict :func:`validate_exposition`
+  parser used by tests and CI).
+* :mod:`repro.obs.dump` — JSONL trace persistence and the ``repro trace``
+  waterfall renderer.
+"""
+
+from repro.obs.dump import (
+    read_traces,
+    render_waterfall,
+    summarize_traces,
+    write_trace,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    MetricFamily,
+    MetricsRegistry,
+    global_registry,
+    merge_buckets,
+    render_prometheus,
+    validate_exposition,
+)
+from repro.obs.trace import (
+    ROOT_SPAN_ID,
+    Trace,
+    Tracer,
+    activate_trace,
+    add_ambient_span,
+    current_trace,
+    mint_request_id,
+    phase_span,
+    span,
+)
+
+__all__ = [
+    "ROOT_SPAN_ID",
+    "Counter",
+    "Gauge",
+    "MetricFamily",
+    "MetricsRegistry",
+    "Trace",
+    "Tracer",
+    "activate_trace",
+    "add_ambient_span",
+    "current_trace",
+    "global_registry",
+    "merge_buckets",
+    "mint_request_id",
+    "phase_span",
+    "read_traces",
+    "render_prometheus",
+    "render_waterfall",
+    "span",
+    "summarize_traces",
+    "validate_exposition",
+    "write_trace",
+]

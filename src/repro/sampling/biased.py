@@ -41,6 +41,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.graph import HeteroGraph, SharedArray, SharedCSR
+from repro.obs.registry import global_registry
 from repro.ppr import PushOperator, multi_source_ppr
 from repro.sampling.subgraph import Subgraph, SubgraphStore
 
@@ -220,6 +221,19 @@ def shutdown_shared_pool() -> None:
 
 
 atexit.register(shutdown_shared_pool)
+
+# Callback gauges read the module globals at scrape time, so pool growth /
+# shutdown shows up in GET /metrics without any bookkeeping on the hot path.
+global_registry().gauge(
+    "repro_builder_pool_workers",
+    "Workers in the shared subgraph-construction process pool (0 when idle).",
+    fn=lambda: float(_shared_pool_workers),
+)
+global_registry().gauge(
+    "repro_builder_pool_shared_payloads",
+    "Live shared-memory builder payloads registered with the pool.",
+    fn=lambda: float(len(_shared_payload_registry)),
+)
 
 
 class BiasedSubgraphBuilder:

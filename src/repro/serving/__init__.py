@@ -18,7 +18,11 @@ exposes serving telemetry (:class:`ServingMetrics`).
 """
 
 from repro.serving.batcher import BatcherClosed, MicroBatcher, ScoreRequest
-from repro.serving.bench import format_result, run_serving_benchmark
+from repro.serving.bench import (
+    format_result,
+    measure_tracing_overhead,
+    run_serving_benchmark,
+)
 from repro.serving.cluster import (
     ClusterHTTPServer,
     ClusterRequest,
@@ -49,6 +53,7 @@ __all__ = [
     "ShardRouter",
     "ShardSpec",
     "format_result",
+    "measure_tracing_overhead",
     "plan_shards",
     "run_serving_benchmark",
 ]

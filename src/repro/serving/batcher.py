@@ -56,7 +56,7 @@ class ScoreRequest:
     __slots__ = (
         "nodes", "barrier_seq", "enqueued_at", "started_at", "finished_at",
         "delta_seq", "wave_requests", "wave_nodes", "probabilities", "error",
-        "_done", "_clock",
+        "trace", "trace_parent", "trace_owned", "_done", "_clock",
     )
 
     def __init__(
@@ -65,8 +65,19 @@ class ScoreRequest:
         barrier_seq: int,
         enqueued_at: float,
         clock: Callable[[], float] = time.monotonic,
+        trace=None,
+        trace_parent: Optional[int] = None,
+        trace_owned: bool = False,
     ) -> None:
         self.nodes = nodes
+        #: Optional :class:`repro.obs.Trace` riding along so the dispatcher
+        #: can record this request's queue-wait/wave spans after the fact
+        #: (``trace_parent`` is the span id they attach under; a trace the
+        #: service itself started — ``trace_owned`` — is finished by the
+        #: dispatcher when the request resolves).
+        self.trace = trace
+        self.trace_parent = trace_parent
+        self.trace_owned = bool(trace_owned)
         # All three timestamps must come from the same clock (the batcher's,
         # injectable for deterministic tests) or latency_s/queue_wait_s mix
         # clock domains.
@@ -166,12 +177,27 @@ class MicroBatcher:
     # ------------------------------------------------------------------
     # Caller side
     # ------------------------------------------------------------------
-    def submit(self, nodes: Sequence[int], barrier_seq: int = -1) -> ScoreRequest:
+    def submit(
+        self,
+        nodes: Sequence[int],
+        barrier_seq: int = -1,
+        trace=None,
+        trace_parent: Optional[int] = None,
+        trace_owned: bool = False,
+    ) -> ScoreRequest:
         """Enqueue a score request; returns the caller's wait handle."""
         array = np.asarray(
             nodes if isinstance(nodes, np.ndarray) else list(nodes)
         ).astype(np.int64).ravel()
-        request = ScoreRequest(array, barrier_seq, self._clock(), clock=self._clock)
+        request = ScoreRequest(
+            array,
+            barrier_seq,
+            self._clock(),
+            clock=self._clock,
+            trace=trace,
+            trace_parent=trace_parent,
+            trace_owned=trace_owned,
+        )
         with self._condition:
             if self._closed:
                 raise BatcherClosed("batcher is closed")

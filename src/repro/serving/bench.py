@@ -32,6 +32,7 @@ import numpy as np
 
 from repro import api
 from repro.datasets import load_benchmark
+from repro.obs import Tracer
 from repro.sampling import biased
 from repro.serving.service import DetectionService
 
@@ -183,6 +184,67 @@ def _model_forward_comparison(
     }
 
 
+def measure_tracing_overhead(
+    detector,
+    graph,
+    *,
+    num_requests: int = 100,
+    max_batch_size: int = 64,
+    repeats: int = 2,
+    seed: int = 7,
+) -> Dict[str, float]:
+    """Traced-vs-untraced serving throughput (interleaved best-of-N).
+
+    The same fixed request mix is driven sequentially through a fresh
+    :class:`DetectionService` per arm — one with tracing disabled
+    (``Tracer(0.0)``, env-independent), one tracing every request at
+    ``sample_rate=1.0`` — alternating arms each repeat so machine noise
+    hits both equally.  ``serving_trace_overhead_ratio`` is traced/untraced
+    throughput; the perf gate holds its floor (tracing must stay cheap
+    enough to leave on).
+    """
+    rng = np.random.default_rng(seed)
+    requests = [
+        rng.integers(0, graph.num_nodes, size=int(size))
+        for size in rng.integers(1, 5, size=num_requests)
+    ]
+    # Pre-build every requested center: the comparison is about request
+    # handling + span recording, not cold-store construction.
+    detector.predict_proba_nodes(np.unique(np.concatenate(requests)))
+
+    def run_arm(tracer: Tracer) -> float:
+        service = DetectionService(
+            detector,
+            graph,
+            max_batch_size=max_batch_size,
+            max_wait_ms=0.0,
+            release_pool_on_close=False,
+            tracer=tracer,
+            register_metrics=False,
+        )
+        try:
+            for nodes in requests[:8]:  # warm the collation/replay caches
+                service.score(nodes)
+            started = time.perf_counter()
+            for nodes in requests:
+                service.score(nodes)
+            return time.perf_counter() - started
+        finally:
+            service.close()
+
+    best = {"untraced": float("inf"), "traced": float("inf")}
+    for _ in range(max(repeats, 1)):
+        best["untraced"] = min(best["untraced"], run_arm(Tracer(0.0)))
+        best["traced"] = min(
+            best["traced"], run_arm(Tracer(1.0, capacity=num_requests))
+        )
+    return {
+        "serving_untraced_rps": num_requests / best["untraced"],
+        "serving_traced_rps": num_requests / best["traced"],
+        "serving_trace_overhead_ratio": best["untraced"] / best["traced"],
+    }
+
+
 def run_serving_benchmark(
     num_users: int = 200,
     clients_ladder: Sequence[int] = (1, 8, 32),
@@ -311,6 +373,11 @@ def run_serving_benchmark(
         # after the explicit shutdown below.
         assert not service._thread.is_alive(), "dispatcher thread survived close()"
 
+    # ---- tracing overhead: same service, tracer off vs sample=1.0 ----
+    tracing = measure_tracing_overhead(
+        detector, graph, max_batch_size=max_batch_size, seed=seed + 7
+    )
+
     # The end-of-run teardown the acceptance criterion asks for: after the
     # shared pool is shut down, nothing may linger — no worker processes, no
     # shared-memory segments.  (A service owning the pool does this itself:
@@ -344,6 +411,7 @@ def run_serving_benchmark(
         "speedup_at_max_clients": speedup,
         "bit_identical_waves": bit_identical_waves,
         "model_forward": model_forward,
+        "tracing": tracing,
     }
     if min_speedup is not None:
         assert speedup >= min_speedup, (
@@ -393,5 +461,12 @@ def format_result(result: Dict[str, object]) -> str:
             f"inference {forward['model_inference_wave_s'] * 1e3:.3f}ms/wave, "
             f"replay {forward['model_replay_wave_s'] * 1e3:.3f}ms/wave "
             f"({forward['model_replay_speedup']:.2f}x vs eager)"
+        )
+    tracing = result.get("tracing")
+    if tracing:
+        lines.append(
+            f"tracing overhead: {tracing['serving_untraced_rps']:.1f} req/s off, "
+            f"{tracing['serving_traced_rps']:.1f} req/s at sample=1.0 "
+            f"(ratio {tracing['serving_trace_overhead_ratio']:.3f})"
         )
     return "\n".join(lines)

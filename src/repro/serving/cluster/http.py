@@ -18,8 +18,22 @@ Endpoints
   (per-shard delta sequence numbers: the caller's read-your-writes
   barrier).
 * ``GET /healthz`` — liveness + per-shard open/closed flags.
-* ``GET /metrics`` — aggregated :meth:`ShardRouter.snapshot` (cluster
-  totals, plan stats, per-shard serving telemetry).
+* ``GET /metrics`` — content negotiated: ``Accept: text/plain`` answers
+  Prometheus text exposition from the metrics registry; anything else gets
+  the aggregated :meth:`ShardRouter.snapshot` JSON (cluster totals, plan
+  stats, per-shard serving telemetry).
+* ``GET /traces`` — the tracer's ring buffer (``?limit=N`` caps the
+  count), most recent first, plus tracer stats.
+
+Request tracing
+---------------
+
+Every ``/score`` / ``/update`` request gets a request id — minted here, or
+taken from an ``X-Repro-Request-Id`` header when the client sent one — and
+the id is echoed back on the response.  When the router's tracer is armed,
+the front door starts one trace per request (admission span here, route /
+shard-leg / queue-wait / wave spans recorded downstream) and finishes it
+when the response is ready: one trace covers the whole fan-out.
 
 Backpressure
 ------------
@@ -37,10 +51,13 @@ from __future__ import annotations
 import asyncio
 import functools
 import json
+import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 from repro.analysis.sanitizer import tracked_rlock
+from repro.obs.registry import MetricsRegistry, global_registry
+from repro.obs.trace import ROOT_SPAN_ID, Trace, Tracer, mint_request_id
 from repro.serving.cluster.router import ShardRouter
 
 _MAX_HEADER_BYTES = 16 * 1024
@@ -68,12 +85,24 @@ class ClusterHTTPServer:
         max_inflight: int = 64,
         max_body_bytes: int = 8 * 1024 * 1024,
         score_timeout_s: float = 60.0,
+        tracer: Optional[Tracer] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_inflight <= 0:
             raise ValueError("max_inflight must be positive")
         self.router = router
         self.host = host
         self.port = port
+        #: Trace/metrics plumbing defaults to the router's own — the front
+        #: door mints request ids and owns per-request traces, the router
+        #: and its shard services fill in the downstream spans.  (getattr:
+        #: HTTP tests drive the server with duck-typed stub routers.)
+        self.tracer = tracer if tracer is not None else getattr(router, "tracer", None)
+        if registry is None:
+            registry = getattr(router, "registry", None)
+        if registry is None:
+            registry = global_registry()
+        self.registry = registry
         self.max_inflight = int(max_inflight)
         self.max_body_bytes = int(max_body_bytes)
         self.score_timeout_s = float(score_timeout_s)
@@ -149,8 +178,8 @@ class ClusterHTTPServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
-            status, payload = await self._handle_request(reader)
-            await self._write_response(writer, status, payload)
+            status, payload, extra_headers = await self._handle_request(reader)
+            await self._write_response(writer, status, payload, extra_headers)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client went away mid-exchange; nothing to answer
         finally:
@@ -162,7 +191,7 @@ class ClusterHTTPServer:
 
     async def _read_head(
         self, reader: asyncio.StreamReader
-    ) -> Tuple[str, str, Dict[str, str]]:
+    ) -> Tuple[str, str, str, Dict[str, str]]:
         head = await reader.readuntil(b"\r\n\r\n")
         if len(head) > _MAX_HEADER_BYTES:
             raise ValueError("request head too large")
@@ -177,71 +206,134 @@ class ClusterHTTPServer:
                 continue
             name, _, value = line.partition(":")
             headers[name.strip().lower()] = value.strip()
-        return method.upper(), path.split("?", 1)[0], headers
+        path, _, query = path.partition("?")
+        return method.upper(), path, query, headers
+
+    @staticmethod
+    def _query_int(query: str, name: str) -> Optional[int]:
+        """``?limit=25``-style single-int query parameter (None when absent
+        or unparsable — telemetry endpoints degrade, never 400)."""
+        for pair in query.split("&"):
+            key, _, value = pair.partition("=")
+            if key == name:
+                try:
+                    return int(value)
+                except ValueError:
+                    return None
+        return None
 
     async def _handle_request(
         self, reader: asyncio.StreamReader
-    ) -> Tuple[int, Dict[str, object]]:
+    ) -> Tuple[int, Union[Dict[str, object], str], Dict[str, str]]:
         try:
-            method, path, headers = await self._read_head(reader)
+            method, path, query, headers = await self._read_head(reader)
         except (ValueError, asyncio.LimitOverrunError) as error:
-            return 400, {"error": str(error)}
+            return 400, {"error": str(error)}, {}
         content_length = int(headers.get("content-length", "0") or "0")
         if content_length > self.max_body_bytes:
             return 413, {
                 "error": f"body of {content_length} bytes exceeds "
                 f"{self.max_body_bytes}-byte cap"
-            }
+            }, {}
         body = await reader.readexactly(content_length) if content_length else b""
 
         if path == "/healthz":
             if method != "GET":
-                return 405, {"error": "use GET /healthz"}
+                return 405, {"error": "use GET /healthz"}, {}
             health = self.router.healthz()
             health["admission"] = self.admission_stats()
-            return 200, health
+            return 200, health, {}
         if path == "/metrics":
             if method != "GET":
-                return 405, {"error": "use GET /metrics"}
+                return 405, {"error": "use GET /metrics"}, {}
+            if "text/plain" in headers.get("accept", ""):
+                return 200, self.registry.prometheus_text(), {}
             snapshot = self.router.snapshot()
             snapshot["admission"] = self.admission_stats()
-            return 200, snapshot
+            return 200, snapshot, {}
+        if path == "/traces":
+            if method != "GET":
+                return 405, {"error": "use GET /traces"}, {}
+            if self.tracer is None:
+                return 200, {"enabled": False, "stats": {}, "traces": []}, {}
+            return 200, {
+                "enabled": True,
+                "stats": self.tracer.stats(),
+                "traces": self.tracer.recent(self._query_int(query, "limit")),
+            }, {}
         if path in ("/score", "/update"):
             if method != "POST":
-                return 405, {"error": f"use POST {path}"}
+                return 405, {"error": f"use POST {path}"}, {}
+            request_id = headers.get("x-repro-request-id") or mint_request_id()
+            extra_headers = {"X-Repro-Request-Id": request_id}
             try:
                 payload = json.loads(body.decode("utf-8")) if body else {}
             except (UnicodeDecodeError, json.JSONDecodeError) as error:
-                return 400, {"error": f"invalid JSON body: {error}"}
+                return 400, {"error": f"invalid JSON body: {error}"}, extra_headers
             if not isinstance(payload, dict):
-                return 400, {"error": "JSON body must be an object"}
-            if not self._admit():
-                return 429, {
-                    "error": "admission queue full",
-                    "retry_after_s": 0.05,
-                }
+                return 400, {"error": "JSON body must be an object"}, extra_headers
+            trace: Optional[Trace] = None
+            if self.tracer is not None:
+                trace = self.tracer.start_trace(
+                    f"http{path.replace('/', '_')}",
+                    request_id=request_id,
+                    attributes={"path": path},
+                )
             try:
-                loop = asyncio.get_running_loop()
-                if path == "/score":
-                    call = functools.partial(self._do_score, payload)
-                else:
-                    call = functools.partial(self._do_update, payload)
-                return await loop.run_in_executor(self._executor, call)
+                admit_started = time.monotonic()
+                admitted = self._admit()
+                if trace is not None:
+                    trace.add_span(
+                        "admission",
+                        admit_started,
+                        time.monotonic() - admit_started,
+                        parent_id=ROOT_SPAN_ID,
+                        granted=admitted,
+                    )
+                if not admitted:
+                    return 429, {
+                        "error": "admission queue full",
+                        "retry_after_s": 0.05,
+                    }, extra_headers
+                try:
+                    loop = asyncio.get_running_loop()
+                    if path == "/score":
+                        call = functools.partial(self._do_score, payload, trace)
+                    else:
+                        call = functools.partial(self._do_update, payload, trace)
+                    status, answer = await loop.run_in_executor(self._executor, call)
+                    if isinstance(answer, dict):
+                        answer.setdefault("request_id", request_id)
+                    return status, answer, extra_headers
+                finally:
+                    self._release()
             finally:
-                self._release()
-        return 404, {"error": f"unknown path {path!r}"}
+                if trace is not None:
+                    self.tracer.finish_trace(trace)
+        return 404, {"error": f"unknown path {path!r}"}, {}
 
     async def _write_response(
-        self, writer: asyncio.StreamWriter, status: int, payload: Dict[str, object]
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Union[Dict[str, object], str],
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, str):  # Prometheus text exposition
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         reason = _HTTP_REASONS.get(status, "OK")
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             "Connection: close\r\n"
         )
+        for name, value in (extra_headers or {}).items():
+            head += f"{name}: {value}\r\n"
         if status == 429:
             head += "Retry-After: 1\r\n"
         writer.write(head.encode("latin-1") + b"\r\n" + body)
@@ -250,13 +342,18 @@ class ClusterHTTPServer:
     # ------------------------------------------------------------------
     # Endpoint bodies (run on the worker pool — blocking is fine here)
     # ------------------------------------------------------------------
-    def _do_score(self, payload: Dict[str, object]) -> Tuple[int, Dict[str, object]]:
+    def _do_score(
+        self, payload: Dict[str, object], trace: Optional[Trace] = None
+    ) -> Tuple[int, Dict[str, object]]:
         nodes = payload.get("nodes")
         if not isinstance(nodes, list):
             return 400, {"error": "'nodes' must be a list of node ids"}
         timeout = payload.get("timeout", self.score_timeout_s)
         try:
-            handle = self.router.submit(nodes)
+            if trace is not None:
+                handle = self.router.submit(nodes, trace=trace)
+            else:  # positional: HTTP tests drive stub routers without tracing
+                handle = self.router.submit(nodes)
             probabilities = handle.result(float(timeout))
         except (ValueError, TypeError, KeyError) as error:
             return 400, {"error": str(error)}
@@ -270,7 +367,9 @@ class ClusterHTTPServer:
             "delta_seqs": {str(k): int(v) for k, v in handle.delta_seqs.items()},
         }
 
-    def _do_update(self, payload: Dict[str, object]) -> Tuple[int, Dict[str, object]]:
+    def _do_update(
+        self, payload: Dict[str, object], trace: Optional[Trace] = None
+    ) -> Tuple[int, Dict[str, object]]:
         edges_raw = payload.get("edges_added") or {}
         features_raw = payload.get("features_changed") or {}
         if not isinstance(edges_raw, dict) or not isinstance(features_raw, dict):
@@ -283,9 +382,11 @@ class ClusterHTTPServer:
                 for relation, pair in edges_raw.items()
             }
             features = {int(node): list(row) for node, row in features_raw.items()}
+            update_kwargs = {} if trace is None else {"trace": trace}
             sequences = self.router.submit_update(
                 edges_added=edges or None,
                 features_changed=features or None,
+                **update_kwargs,
             )
         except (ValueError, TypeError, KeyError, IndexError) as error:
             return 400, {"error": str(error)}

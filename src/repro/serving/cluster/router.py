@@ -29,41 +29,67 @@ from repro.analysis.sanitizer import tracked_rlock
 from repro.api import load_detector, read_manifest
 from repro.api.session import validate_edge_additions, validate_feature_rows
 from repro.graph import HeteroGraph
+from repro.obs.registry import MetricFamily, MetricsRegistry, global_registry
+from repro.obs.trace import ROOT_SPAN_ID, Trace, Tracer
 from repro.serving.cluster.planner import ShardPlan, plan_shards
+from repro.serving.metrics import aggregate_serving_metrics
 from repro.serving.service import DetectionService, ServiceClosed
 
 
 class ClusterRequest:
     """Fan-out handle: one pending score split across shard sub-requests."""
 
-    __slots__ = ("num_nodes", "_parts", "delta_seqs")
+    __slots__ = ("num_nodes", "_parts", "delta_seqs", "trace", "_trace_owned")
 
     def __init__(
         self,
         num_nodes: int,
-        parts: List[Tuple[int, np.ndarray, "object"]],
+        parts: List[Tuple[int, np.ndarray, "object", Optional[int], float]],
+        trace: Optional[Trace] = None,
+        trace_owned: bool = False,
     ) -> None:
         self.num_nodes = num_nodes
-        #: ``(shard_id, positions, handle)`` triples; ``positions`` are the
-        #: caller-order row indices the shard's rows scatter back into.
+        #: ``(shard_id, positions, handle, leg_span_id, submitted_at)``
+        #: tuples; ``positions`` are the caller-order row indices the
+        #: shard's rows scatter back into, ``leg_span_id`` the reserved span
+        #: this leg records once its handle resolves.
         self._parts = parts
         #: shard id -> delta-log prefix its slice was served at (filled by
         #: :meth:`result`).
         self.delta_seqs: Dict[int, int] = {}
+        #: The request's trace (one trace covers every shard leg); owned
+        #: means :meth:`result` finishes it (the direct ``router.score``
+        #: path — the HTTP front door keeps ownership of its own traces).
+        self.trace = trace
+        self._trace_owned = bool(trace_owned)
 
     def result(self, timeout: Optional[float] = 60.0) -> np.ndarray:
         """Block for every shard slice; rows come back in caller order."""
         deadline = None if timeout is None else time.monotonic() + timeout
         output: Optional[np.ndarray] = None
-        for shard_id, positions, handle in self._parts:
+        for shard_id, positions, handle, leg_span, submitted_at in self._parts:
             remaining = None if deadline is None else max(deadline - time.monotonic(), 0.0)
             rows = handle.result(remaining)
             if output is None:
                 output = np.empty((self.num_nodes, rows.shape[1]), dtype=rows.dtype)
             output[positions] = rows
             self.delta_seqs[shard_id] = handle.delta_seq
+            if self.trace is not None and leg_span is not None:
+                self.trace.record_span(
+                    leg_span,
+                    "shard_leg",
+                    submitted_at,
+                    time.monotonic() - submitted_at,
+                    ROOT_SPAN_ID,
+                    {"shard": int(shard_id), "nodes": int(positions.size)},
+                )
         if output is None:
             output = np.zeros((0, 2))
+        if self._trace_owned and self.trace is not None:
+            self._trace_owned = False  # finish exactly once
+            tracer = self.trace.tracer
+            if tracer is not None:
+                tracer.finish_trace(self.trace)
         return output
 
 
@@ -77,6 +103,8 @@ class ShardRouter:
         *,
         graph: Optional[HeteroGraph] = None,
         release_pool_on_close: bool = True,
+        tracer: Optional[Tracer] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if len(services) != plan.num_shards:
             raise ValueError(
@@ -89,12 +117,27 @@ class ShardRouter:
         #: feature width are shard-invariant).  Falls back to shard 0's
         #: local graph when the planner's source graph wasn't kept.
         self.graph = graph if graph is not None else plan.shards[0].graph
+        #: One tracer for the whole cluster: a trace started here (or handed
+        #: in by the HTTP front door) covers every shard leg.
+        self.tracer = tracer if tracer is not None else Tracer.from_env()
         self._release_pool_on_close = release_pool_on_close
         self._lock = tracked_rlock("ShardRouter._lock")
         self._closed = False  # guarded-by: _lock
         self._requests = 0  # guarded-by: _lock
         self._updates = 0  # guarded-by: _lock
         self._started_at = time.monotonic()
+        # The router owns cluster exposition: per-shard families labeled
+        # ``shard=<id>`` plus router-level counters, all behind one
+        # collector — shard services' own collectors are withdrawn so the
+        # same counters never appear twice.
+        self.registry = registry if registry is not None else global_registry()
+        for service in self.services:
+            # Duck-typed: router tests stub out services without exposition.
+            withdraw = getattr(service, "unregister_metrics", None)
+            if withdraw is not None:
+                withdraw()
+        self._registry_key: Optional[str] = f"cluster:{id(self):x}"
+        self.registry.register(self._registry_key, self._collect_metric_families)
 
     # ------------------------------------------------------------------
     # Construction
@@ -110,6 +153,8 @@ class ShardRouter:
         seed: int = 0,
         verify: bool = True,
         release_pool_on_close: bool = True,
+        tracer: Optional[Tracer] = None,
+        registry: Optional[MetricsRegistry] = None,
         **service_kwargs,
     ) -> "ShardRouter":
         """Plan shards for ``graph`` and load one service per shard.
@@ -152,6 +197,7 @@ class ShardRouter:
                         detector,
                         spec.graph,
                         release_pool_on_close=False,
+                        register_metrics=False,
                         **service_kwargs,
                     )
                 )
@@ -160,18 +206,31 @@ class ShardRouter:
                 service.close(drain=False)
             raise
         return cls(
-            plan, services, graph=graph, release_pool_on_close=release_pool_on_close
+            plan,
+            services,
+            graph=graph,
+            release_pool_on_close=release_pool_on_close,
+            tracer=tracer,
+            registry=registry,
         )
 
     # ------------------------------------------------------------------
     # Scoring
     # ------------------------------------------------------------------
-    def submit(self, nodes: Sequence[int]) -> ClusterRequest:
+    def submit(
+        self, nodes: Sequence[int], trace: Optional[Trace] = None
+    ) -> ClusterRequest:
         """Fan a score request out by center ownership; returns the handle.
 
         Each shard slice preserves the caller's relative node order, so a
         single-shard request coalesces into its shard's waves exactly like
         a direct :meth:`DetectionService.submit` would.
+
+        A caller-owned ``trace`` (the HTTP front door's) rides through the
+        fan-out: each shard leg gets a reserved span the handle records at
+        fan-in, and the per-shard queue/wave spans parent to it — one trace
+        covers every leg.  Without one, an armed ``self.tracer`` starts a
+        router-owned trace that :meth:`ClusterRequest.result` finishes.
         """
         array = np.asarray(
             nodes if isinstance(nodes, np.ndarray) else list(nodes)
@@ -182,14 +241,43 @@ class ShardRouter:
             if self._closed:
                 raise ServiceClosed("cluster router is closed")
             self._requests += 1
-        parts: List[Tuple[int, np.ndarray, object]] = []
+        trace_owned = False
+        if trace is None and self.tracer is not None:
+            trace = self.tracer.start_trace(
+                "score", attributes={"num_nodes": int(array.size)}
+            )
+            trace_owned = trace is not None
+        parts: List[Tuple[int, np.ndarray, object, Optional[int], float]] = []
         if array.size:
+            route_started = time.monotonic()
             owners = self.plan.shard_of(array)
-            for shard_id in np.unique(owners):
+            unique_shards = np.unique(owners)
+            for shard_id in unique_shards:
                 positions = np.flatnonzero(owners == shard_id)
-                handle = self.services[int(shard_id)].submit(array[positions])
-                parts.append((int(shard_id), positions, handle))
-        return ClusterRequest(int(array.size), parts)
+                submitted_at = time.monotonic()
+                if trace is not None:
+                    leg_span = trace.allocate_span()
+                    handle = self.services[int(shard_id)].submit(
+                        array[positions], trace=trace, trace_parent=leg_span
+                    )
+                else:
+                    # Positional call keeps duck-typed (stub) services working.
+                    leg_span = None
+                    handle = self.services[int(shard_id)].submit(array[positions])
+                parts.append(
+                    (int(shard_id), positions, handle, leg_span, submitted_at)
+                )
+            if trace is not None:
+                trace.add_span(
+                    "route",
+                    route_started,
+                    time.monotonic() - route_started,
+                    parent_id=ROOT_SPAN_ID,
+                    shards=int(unique_shards.size),
+                )
+        return ClusterRequest(
+            int(array.size), parts, trace=trace, trace_owned=trace_owned
+        )
 
     def score(
         self, nodes: Sequence[int], timeout: Optional[float] = 60.0
@@ -204,6 +292,7 @@ class ShardRouter:
         self,
         edges_added: Optional[Mapping[str, Tuple[Iterable[int], Iterable[int]]]] = None,
         features_changed: Optional[Mapping[int, Iterable[float]]] = None,
+        trace: Optional[Trace] = None,
     ) -> Dict[int, int]:
         """Route a delta to every shard it touches; returns shard -> seq.
 
@@ -215,6 +304,11 @@ class ShardRouter:
         touched shard sequences the delta through its own
         :class:`repro.serving.DeltaLog`, so scores submitted after this
         call returns see it on whichever shard serves them.
+
+        A caller-owned ``trace`` (the HTTP front door's) gets
+        ``delta_validate`` and per-shard ``delta_route`` spans; ownership
+        stays with the caller (updates resolve synchronously, so no handle
+        needs to finish anything).
         """
         with self._lock:
             if self._closed:
@@ -222,12 +316,22 @@ class ShardRouter:
             self._updates += 1
         # One global validation pass: a bad delta fails here with nothing
         # enqueued on any shard (no partially-applied fan-out).
+        validate_started = time.monotonic()
         validated_edges = {
             relation: (src, dst)
             for relation, src, dst in validate_edge_additions(self.graph, edges_added)
             if src.size
         }
         validated_features = validate_feature_rows(self.graph, features_changed)
+        if trace is not None:
+            trace.add_span(
+                "delta_validate",
+                validate_started,
+                time.monotonic() - validate_started,
+                parent_id=ROOT_SPAN_ID,
+                relations=len(validated_edges),
+                feature_rows=len(validated_features),
+            )
         sequences: Dict[int, int] = {}
         for spec, service in zip(self.plan.shards, self.services):
             shard_edges: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
@@ -237,10 +341,20 @@ class ShardRouter:
                     shard_edges[relation] = (src[keep], dst[keep])
             if not shard_edges and not validated_features:
                 continue
+            route_started = time.monotonic()
             sequences[spec.shard_id] = service.submit_update(
                 edges_added=shard_edges or None,
                 features_changed=validated_features or None,
             )
+            if trace is not None:
+                trace.add_span(
+                    "delta_route",
+                    route_started,
+                    time.monotonic() - route_started,
+                    parent_id=ROOT_SPAN_ID,
+                    shard=spec.shard_id,
+                    seq=sequences[spec.shard_id],
+                )
         return sequences
 
     # ------------------------------------------------------------------
@@ -265,6 +379,9 @@ class ShardRouter:
             if self._closed:
                 return
             self._closed = True
+            registry_key, self._registry_key = self._registry_key, None
+        if registry_key is not None:
+            self.registry.unregister(registry_key)
         try:
             for service in self.services:
                 service.close(drain=drain, timeout=timeout)
@@ -306,23 +423,21 @@ class ShardRouter:
         }
 
     def snapshot(self) -> Dict[str, object]:
-        """Aggregated serving telemetry: cluster totals + per-shard detail."""
+        """Aggregated serving telemetry: cluster totals + per-shard detail.
+
+        Totals come from :func:`repro.serving.metrics.aggregate_serving_metrics`
+        — the one place cluster aggregation lives — so latency percentiles
+        are merged at the histogram-bucket level (a true cluster p99), not
+        the max of per-shard p99s.
+        """
         shard_snapshots = [service.snapshot() for service in self.services]
-        totals: Dict[str, float] = {}
-        for snap in shard_snapshots:
-            for key in (
-                "requests",
-                "nodes_scored",
-                "waves",
-                "wave_nodes",
-                "deltas_enqueued",
-                "deltas_applied",
-                "subgraphs_invalidated",
-                "errors",
-                "replay_hits",
-                "replay_misses",
-            ):
-                totals[key] = totals.get(key, 0) + snap.get(key, 0)
+        totals = aggregate_serving_metrics(
+            [
+                service.metrics
+                for service in self.services
+                if getattr(service, "metrics", None) is not None
+            ]
+        )
         with self._lock:
             router_counters = {
                 "requests": self._requests,
@@ -335,6 +450,50 @@ class ShardRouter:
             "plan": self.plan.stats(),
             "shards": shard_snapshots,
         }
+
+    def _collect_metric_families(self) -> List[MetricFamily]:
+        """Cluster exposition: per-shard serving families + router counters.
+
+        Runs at scrape time (registry collectors execute outside the
+        registry lock).  Each shard's families carry a ``shard=<id>`` label;
+        duplicate family *definitions* across shards merge by name in the
+        registry, and the label keeps their samples distinct.
+        """
+        families: List[MetricFamily] = []
+        for spec, service in zip(self.plan.shards, self.services):
+            metrics = getattr(service, "metrics", None)
+            if metrics is None:  # stubbed service in router unit tests
+                continue
+            families.extend(
+                metrics.metric_families({"shard": str(spec.shard_id)})
+            )
+        with self._lock:
+            requests, updates = self._requests, self._updates
+        families.append(
+            MetricFamily(
+                "repro_cluster_requests_total",
+                "counter",
+                "Score requests accepted by the cluster router.",
+                [({}, float(requests))],
+            )
+        )
+        families.append(
+            MetricFamily(
+                "repro_cluster_updates_total",
+                "counter",
+                "Streaming updates accepted by the cluster router.",
+                [({}, float(updates))],
+            )
+        )
+        families.append(
+            MetricFamily(
+                "repro_cluster_shards",
+                "gauge",
+                "Number of shards behind the cluster router.",
+                [({}, float(self.plan.num_shards))],
+            )
+        )
+        return families
 
     def __repr__(self) -> str:
         with self._lock:

@@ -14,13 +14,22 @@ a fixed memory footprint regardless of traffic.
 
 from __future__ import annotations
 
+import math
+
 from repro.analysis.sanitizer import tracked_rlock
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs.registry import MetricFamily
+
 #: Geometric bucket upper bounds in seconds: 60 buckets spanning 1e-5 .. ~60.
 _BUCKET_BOUNDS = np.geomspace(1e-5, 60.0, 60)
+
+
+def bucket_bounds() -> List[float]:
+    """The shared geometric bucket upper bounds (seconds), ascending."""
+    return [float(bound) for bound in _BUCKET_BOUNDS]
 
 
 class LatencyHistogram:
@@ -41,6 +50,12 @@ class LatencyHistogram:
 
     def observe(self, seconds: float) -> None:
         seconds = float(seconds)
+        # NaN would silently poison _min/_sum (and land in an arbitrary
+        # bucket); negative durations mean a clock-domain bug upstream.
+        if seconds != seconds or seconds < 0.0:
+            raise ValueError(
+                f"latency sample must be non-negative and not NaN, got {seconds!r}"
+            )
         index = int(np.searchsorted(_BUCKET_BOUNDS, seconds))
         with self._lock:
             self._counts[index] += 1
@@ -54,6 +69,34 @@ class LatencyHistogram:
     def count(self) -> int:
         with self._lock:
             return int(self._counts.sum())
+
+    @property
+    def sum_s(self) -> float:
+        """Sum of every observed sample (the Prometheus ``_sum`` value)."""
+        with self._lock:
+            return float(self._sum)
+
+    @property
+    def max_s(self) -> float:
+        with self._lock:
+            return float(self._max)
+
+    def buckets(self) -> List[Tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs, ending at ``+Inf``.
+
+        The accessor the Prometheus exporter and the cross-shard
+        aggregation use instead of reaching into ``_counts``; the final
+        pair's count is the total observation count.
+        """
+        with self._lock:
+            counts = self._counts.copy()
+        cumulative = np.cumsum(counts)
+        pairs = [
+            (float(bound), int(cumulative[index]))
+            for index, bound in enumerate(_BUCKET_BOUNDS)
+        ]
+        pairs.append((math.inf, int(cumulative[-1])))
+        return pairs
 
     def percentile(self, quantile: float) -> float:
         """Upper-bound estimate of the ``quantile`` (in [0, 1]) latency."""
@@ -71,6 +114,12 @@ class LatencyHistogram:
         if index >= _BUCKET_BOUNDS.size:
             return maximum
         return float(min(_BUCKET_BOUNDS[index], maximum))
+
+    @property
+    def min_s(self) -> float:
+        """Smallest observed sample (``inf`` before the first one)."""
+        with self._lock:
+            return float(self._min)
 
     def snapshot(self) -> Dict[str, float]:
         with self._lock:
@@ -166,3 +215,141 @@ class ServingMetrics:
         if extra:
             result.update(extra)
         return result
+
+    def metric_families(
+        self, labels: Optional[Dict[str, str]] = None
+    ) -> List[MetricFamily]:
+        """This bundle as Prometheus families for a registry collector.
+
+        Counter names follow the ``repro_serving_<name>_total`` convention;
+        histograms expose the shared geometric buckets as
+        ``repro_serving_<name>_seconds``.  ``labels`` (e.g. ``{"shard":
+        "0"}``) are stamped on every sample so one registry can expose many
+        services side by side.
+        """
+        labels = dict(labels or {})
+        families = [
+            MetricFamily(
+                f"repro_serving_{name}_total",
+                "counter",
+                _COUNTER_HELP.get(name, name.replace("_", " ")),
+                [(dict(labels), float(value))],
+            )
+            for name, value in self.counters().items()
+        ]
+        for name, help_text in _HISTOGRAM_HELP.items():
+            histogram = getattr(self, name)
+            families.append(
+                MetricFamily(
+                    f"repro_serving_{name}_seconds",
+                    "histogram",
+                    help_text,
+                    [(dict(labels), histogram.buckets(), histogram.sum_s)],
+                )
+            )
+        return families
+
+
+_COUNTER_HELP: Dict[str, str] = {
+    "requests": "Score requests accepted.",
+    "nodes_scored": "Node rows returned across all responses.",
+    "waves": "Micro-batched waves executed.",
+    "wave_nodes": "Node rows that went through a collated wave.",
+    "deltas_enqueued": "Graph deltas accepted by the ingester.",
+    "deltas_applied": "Graph deltas applied through update_graph.",
+    "subgraphs_invalidated": "Stored subgraphs dropped by applied deltas.",
+    "errors": "Waves or delta applications that raised.",
+    "replay_hits": "Wave model forwards served by a compiled replay schedule.",
+    "replay_misses": "Wave model forwards that ran eagerly and traced a schedule.",
+}
+
+_HISTOGRAM_HELP: Dict[str, str] = {
+    "request_latency": "Submit-to-result latency per request (seconds).",
+    "queue_wait": "Submit-to-wave-start wait per request (seconds).",
+    "model_time": "Model forward time per wave (seconds).",
+}
+
+
+def percentile_from_buckets(
+    buckets: Sequence[Tuple[float, int]],
+    quantile: float,
+    maximum: Optional[float] = None,
+) -> float:
+    """Percentile estimate from cumulative buckets (``buckets()`` shape).
+
+    Mirrors :meth:`LatencyHistogram.percentile` exactly — the first bucket
+    whose cumulative count reaches the rank, capped by the true observed
+    ``maximum`` when known — so aggregating one histogram's buckets returns
+    the same estimate the histogram itself would.
+    """
+    if not 0.0 <= quantile <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    if not buckets:
+        return 0.0
+    total = buckets[-1][1]
+    if total == 0:
+        return 0.0
+    rank = quantile * total
+    for bound, cumulative in buckets:
+        if cumulative >= rank:
+            if math.isinf(bound):
+                break
+            return float(bound if maximum is None else min(bound, maximum))
+    if maximum is not None:
+        return float(maximum)
+    return float(buckets[-2][0]) if len(buckets) > 1 else 0.0
+
+
+def aggregate_latency(histograms: Sequence[LatencyHistogram]) -> Dict[str, float]:
+    """Merge histograms into one snapshot-shaped summary (cluster view).
+
+    Percentiles come from *bucket-merged* counts — summing the per-shard
+    cumulative buckets and ranking over the merged distribution — which is
+    the statistically meaningful cluster percentile (``max`` of per-shard
+    p99s overstates whenever load is uneven, ``mean`` understates).
+    """
+    from repro.obs.registry import merge_buckets
+
+    nonempty = [histogram for histogram in histograms if histogram.count]
+    if not nonempty:
+        return {"count": 0, "mean_s": 0.0, "min_s": 0.0, "max_s": 0.0,
+                "p50_s": 0.0, "p90_s": 0.0, "p99_s": 0.0}
+    merged = merge_buckets([histogram.buckets() for histogram in nonempty])
+    total = merged[-1][1]
+    observed_sum = sum(histogram.sum_s for histogram in nonempty)
+    maximum = max(histogram.max_s for histogram in nonempty)
+    return {
+        "count": total,
+        "mean_s": observed_sum / total,
+        "min_s": min(histogram.min_s for histogram in nonempty),
+        "max_s": maximum,
+        "p50_s": percentile_from_buckets(merged, 0.50, maximum),
+        "p90_s": percentile_from_buckets(merged, 0.90, maximum),
+        "p99_s": percentile_from_buckets(merged, 0.99, maximum),
+    }
+
+
+def aggregate_serving_metrics(
+    metrics: Sequence[ServingMetrics],
+) -> Dict[str, object]:
+    """Cluster totals over per-shard bundles, computed in one place.
+
+    The single aggregation path behind :meth:`ShardRouter.snapshot` and
+    the registry's cluster collector: counters sum, derived rates recompute
+    from the summed counters, and latency histograms merge bucket-wise
+    (see :func:`aggregate_latency`).
+    """
+    totals: Dict[str, object] = {name: 0 for name in _COUNTER_HELP}
+    for bundle in metrics:
+        for name, value in bundle.counters().items():
+            totals[name] = int(totals.get(name, 0)) + int(value)
+    waves = int(totals.get("waves", 0))
+    totals["batch_occupancy"] = (
+        int(totals.get("wave_nodes", 0)) / waves if waves else 0.0
+    )
+    totals["requests_per_wave"] = (
+        int(totals.get("requests", 0)) / waves if waves else 0.0
+    )
+    for name in _HISTOGRAM_HELP:
+        totals[name] = aggregate_latency([getattr(bundle, name) for bundle in metrics])
+    return totals

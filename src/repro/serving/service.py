@@ -49,6 +49,8 @@ import numpy as np
 from repro.api import DetectionSession, load_detector, read_manifest
 from repro.core.base import BotDetector
 from repro.graph import HeteroGraph
+from repro.obs.registry import global_registry
+from repro.obs.trace import ROOT_SPAN_ID, Trace, Tracer
 from repro.serving.batcher import MicroBatcher, ScoreRequest
 from repro.serving.ingest import DeltaLog
 from repro.serving.metrics import ServingMetrics
@@ -87,13 +89,18 @@ class DetectionService:
         record_waves: bool = False,
         autostart: bool = True,
         use_replay: Optional[bool] = None,
+        tracer: Optional[Tracer] = None,
+        register_metrics: bool = True,
     ) -> None:
         # ``use_replay`` passes through to the session's capture-and-replay
         # inference engine (None = the REPRO_REPLAY environment default).
         # ``delta_max_pending`` / ``delta_max_age_s`` set the delta log's
         # application watermark (None/None = apply eagerly when idle);
         # ``adaptive_wait`` arms the batcher's per-wave linger adaptation.
+        # ``tracer`` arms request tracing (None consults REPRO_TRACE_*);
+        # ``register_metrics=False`` leaves exposition to an owning router.
         self.session = DetectionSession(detector, graph, use_replay=use_replay)
+        self.tracer = tracer if tracer is not None else Tracer.from_env()
         self.detector = detector
         self.graph = graph
         self.delta_log = DeltaLog(
@@ -123,6 +130,15 @@ class DetectionService:
         # swallowed failure must not silently serve stale subgraphs).
         self._delta_error: Optional[BaseException] = None
         self._started_at = time.monotonic()
+        # Pull-model exposition: the global registry reads this service's
+        # metrics at scrape time; nothing extra happens on the hot path.
+        self._registry_key: Optional[str] = None
+        if register_metrics:
+            self._registry_key = f"service:{graph.name}:{id(self):x}"
+            global_registry().register(
+                self._registry_key,
+                lambda: self.metrics.metric_families({"service": graph.name}),
+            )
         self._thread = threading.Thread(
             target=self._dispatch_loop,
             name=f"repro-serving-{graph.name}",
@@ -198,13 +214,23 @@ class DetectionService:
     # ------------------------------------------------------------------
     # Scoring
     # ------------------------------------------------------------------
-    def submit(self, nodes: Sequence[int]) -> ScoreRequest:
+    def submit(
+        self,
+        nodes: Sequence[int],
+        trace: Optional[Trace] = None,
+        trace_parent: Optional[int] = None,
+    ) -> ScoreRequest:
         """Enqueue a score request; returns a handle to block on.
 
         The handle's ``result(timeout)`` returns the probability rows in the
         requested node order; ``delta_seq`` on the resolved handle names the
         delta-log prefix the response was served at (read-your-writes: it is
         at least the log tail observed here at submit time).
+
+        ``trace``/``trace_parent`` attach this request to a caller-owned
+        trace (the router's fan-out path); without one, an armed
+        ``self.tracer`` starts a service-scoped trace that the dispatcher
+        finishes when the request resolves.
 
         Node ids are validated here, at submit time — like the delta log,
         the bad producer fails immediately instead of poisoning the innocent
@@ -217,13 +243,25 @@ class DetectionService:
         ).astype(np.int64).ravel()
         if nodes.size and (nodes.min() < 0 or nodes.max() >= self.graph.num_nodes):
             raise ValueError("node id out of range for the service graph")
+        trace_owned = False
+        if trace is None and self.tracer is not None:
+            trace = self.tracer.start_trace(
+                "score", attributes={"service": self.graph.name}
+            )
+            trace_owned = trace is not None
         # Enter the ledger before the queue: a request must never be
         # observable by the dispatcher without being counted as accepted,
         # or drain() could return between the pop and the execution.
         with self._idle:
             self._accepted += 1
         try:
-            request = self.batcher.submit(nodes, barrier_seq=self.delta_log.tail_seq)
+            request = self.batcher.submit(
+                nodes,
+                barrier_seq=self.delta_log.tail_seq,
+                trace=trace,
+                trace_parent=trace_parent,
+                trace_owned=trace_owned,
+            )
         except BaseException:
             with self._idle:
                 self._accepted -= 1
@@ -263,8 +301,8 @@ class DetectionService:
         self.metrics.increment("deltas_enqueued")
         return seq
 
-    def _apply_pending_deltas(self) -> None:
-        """Drain and apply the pending delta prefix.
+    def _apply_pending_deltas(self) -> int:
+        """Drain and apply the pending delta prefix; returns deltas applied.
 
         While the dispatcher runs, **only the dispatcher thread** calls this
         (before each wave and from the idle loop) — single-writer discipline
@@ -282,7 +320,7 @@ class DetectionService:
         try:
             delta = self.delta_log.drain()
             if delta is None:
-                return
+                return 0
             invalidated = self.session.apply_delta(
                 edges_added=delta.edges_added or None,
                 features_changed=delta.features_changed or None,
@@ -290,6 +328,7 @@ class DetectionService:
             self.delta_log.mark_applied(delta.seq)
             self.metrics.increment("deltas_applied", delta.coalesced)
             self.metrics.increment("subgraphs_invalidated", invalidated)
+            return int(delta.coalesced)
         finally:
             with self._idle:
                 self._in_flight -= 1
@@ -331,6 +370,11 @@ class DetectionService:
                     self._idle.notify_all()
 
     def _execute_wave(self, wave: List[ScoreRequest]) -> None:
+        traced = any(request.trace is not None for request in wave)
+        wave_started = time.monotonic()
+        delta_s = 0.0
+        deltas_applied = 0
+        build_s = 0.0
         try:
             if self._delta_error is not None:
                 raise self._delta_error
@@ -339,20 +383,26 @@ class DetectionService:
             # whole wave.  Only this thread applies deltas while the
             # dispatcher runs, so ``applied_seq`` is exactly the prefix the
             # wave is scored at.
-            self._apply_pending_deltas()
+            deltas_applied = self._apply_pending_deltas()
+            delta_s = time.monotonic() - wave_started
             applied_seq = self.delta_log.applied_seq
             nodes = (
                 np.concatenate([request.nodes for request in wave])
                 if len(wave) > 1
                 else wave[0].nodes
             )
+            build_before = self._build_seconds() if traced else 0.0
             probabilities = self.session.score_nodes(nodes)
             replay_stats = self.session.consume_replay_stats()
+            if traced:
+                build_s = max(self._build_seconds() - build_before, 0.0)
         except BaseException as error:  # noqa: BLE001 — forwarded to callers
             self.metrics.increment("errors")
             for request in wave:
                 request._reject(error)
+                self._finish_request_trace(request)
             return
+        scored_at = time.monotonic()
         if self.wave_log is not None:
             self.wave_log.append((nodes.copy(), probabilities.copy(), applied_seq))
         offset = 0
@@ -362,7 +412,13 @@ class DetectionService:
             request.delta_seq = applied_seq
             request.wave_requests = len(wave)
             request.wave_nodes = int(nodes.size)
+            if request.trace is not None:
+                self._record_wave_spans(
+                    request, wave_started, scored_at, delta_s, deltas_applied,
+                    build_s, replay_stats, len(wave), int(nodes.size),
+                )
             request._resolve(rows)
+            self._finish_request_trace(request)
             self.metrics.increment("nodes_scored", request.num_nodes)
             self.metrics.request_latency.observe(request.latency_s)
             self.metrics.queue_wait.observe(request.queue_wait_s)
@@ -379,8 +435,106 @@ class DetectionService:
             self.metrics.increment("replay_misses", int(replay_stats["replay_misses"]))
 
     # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def _build_seconds(self) -> float:
+        """Cumulative inference-time subgraph construction seconds so far."""
+        phase_times = getattr(self.detector, "phase_times", None)
+        if not phase_times:
+            return 0.0
+        return float(phase_times.get("inference_construction", 0.0))
+
+    def _record_wave_spans(
+        self,
+        request: ScoreRequest,
+        wave_started: float,
+        scored_at: float,
+        delta_s: float,
+        deltas_applied: int,
+        build_s: float,
+        replay_stats: Dict[str, float],
+        wave_requests: int,
+        wave_nodes: int,
+    ) -> None:
+        """Attach this wave's timing decomposition to the request's trace.
+
+        A wave serves requests from *different* traces, so each trace gets
+        its own copy of the shared wave spans: queue wait (request-specific),
+        the wave itself, and its children — delta application, subgraph
+        build (top-ups), collation (the remainder), and the model forward
+        tagged replay/eager.  Model time comes from the session's replay
+        stats; build time from the detector's inference-construction phase
+        accounting; collate is what's left of the wave after both.
+        """
+        trace = request.trace
+        parent = (
+            request.trace_parent if request.trace_parent is not None else ROOT_SPAN_ID
+        )
+        if request.started_at is not None:
+            trace.add_span(
+                "queue_wait",
+                request.enqueued_at,
+                max(request.started_at - request.enqueued_at, 0.0),
+                parent_id=parent,
+            )
+        wave_span = trace.add_span(
+            "wave",
+            wave_started,
+            max(scored_at - wave_started, 0.0),
+            parent_id=parent,
+            wave_requests=wave_requests,
+            wave_nodes=wave_nodes,
+        )
+        cursor = wave_started
+        if deltas_applied:
+            trace.add_span(
+                "delta_apply", cursor, delta_s, parent_id=wave_span,
+                deltas=deltas_applied,
+            )
+        cursor += delta_s
+        if build_s > 0.0:
+            trace.add_span("subgraph_build", cursor, build_s, parent_id=wave_span)
+        model_s = float(replay_stats.get("model_s", 0.0))
+        collate_s = max(
+            (scored_at - wave_started) - delta_s - build_s - model_s, 0.0
+        )
+        trace.add_span(
+            "wave_collate", cursor + build_s, collate_s, parent_id=wave_span
+        )
+        if model_s > 0.0:
+            hits = int(replay_stats.get("replay_hits", 0))
+            misses = int(replay_stats.get("replay_misses", 0))
+            if hits and not misses:
+                mode = "replay"
+            elif hits and misses:
+                mode = "mixed"
+            else:
+                mode = "eager"
+            trace.add_span(
+                "model_forward", scored_at - model_s, model_s,
+                parent_id=wave_span, mode=mode,
+            )
+
+    def _finish_request_trace(self, request: ScoreRequest) -> None:
+        """Finish a service-owned trace once its request resolved."""
+        if request.trace_owned and request.trace is not None:
+            tracer = request.trace.tracer
+            if tracer is not None:
+                tracer.finish_trace(request.trace)
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    def unregister_metrics(self) -> None:
+        """Withdraw this service's collector from the global registry.
+
+        Idempotent; a :class:`ShardRouter` calls this on its shard services
+        and exposes them itself with per-shard labels instead.
+        """
+        if self._registry_key is not None:
+            global_registry().unregister(self._registry_key)
+            self._registry_key = None
+
     def drain(self, timeout: Optional[float] = 60.0) -> None:
         """Block until every accepted request and delta has been served.
 
@@ -430,6 +584,7 @@ class DetectionService:
             if self._closed:
                 return
             self._closed = True
+        self.unregister_metrics()
         # A never-started dispatcher can't serve the backlog: reject it so
         # no caller blocks forever on a handle nothing will resolve.
         dispatcher_alive = self._thread.is_alive()

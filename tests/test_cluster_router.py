@@ -280,7 +280,9 @@ class _StubService:
         self.closed = False
         self._seq = -1
 
-    def submit(self, nodes):
+    def submit(self, nodes, trace=None, trace_parent=None):
+        # Mirrors DetectionService.submit's signature (the router passes
+        # trace kwargs whenever a tracer is armed, e.g. REPRO_TRACE_SAMPLE).
         nodes = np.asarray(nodes)
         self.scored.append(nodes)
         rows = np.stack([nodes.astype(float), np.zeros(nodes.size)], axis=1)
